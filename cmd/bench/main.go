@@ -1,0 +1,83 @@
+// Command bench regenerates every experiment table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench [-quick] [-seeds N] [-seed S] [-only E1,E4,A2] [-parallel] [-format csv]
+//
+// Each experiment prints its table and notes; the process exits non-zero if
+// any driver fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "use test-sized sweeps")
+	seeds := flag.Int("seeds", 0, "replications per point (0 = config default)")
+	seed := flag.Uint64("seed", 1, "root seed")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	parallel := flag.Bool("parallel", false, "use the goroutine-per-node engine")
+	format := flag.String("format", "table", "output format: table|csv")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Parallel = *parallel
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+
+	if *list {
+		for _, d := range exp.All() {
+			fmt.Printf("%-4s %s\n", d.ID, d.Name)
+		}
+		return 0
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	failed := 0
+	for _, d := range exp.All() {
+		if len(want) > 0 && !want[d.ID] {
+			continue
+		}
+		start := time.Now()
+		rep, err := d.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s): FAILED: %v\n", d.ID, d.Name, err)
+			failed++
+			continue
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.Table.CSV())
+		} else {
+			fmt.Println(rep.String())
+			fmt.Printf("(%s completed in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+// Command graphgen emits a generated graph as an edge list ("n m" header,
+// one "u v" line per edge) on stdout — the format cmd/arbmis -stdin reads.
+//
+// Usage:
+//
+//	graphgen -family union -n 1024 -alpha 3 -seed 7 > graph.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	family := flag.String("family", "union", "graph family: tree|union|grid|gnp|pa|rgg")
+	n := flag.Int("n", 1024, "number of vertices")
+	alpha := flag.Int("alpha", 2, "arboricity parameter (union/pa)")
+	p := flag.Float64("p", 0.01, "edge probability (gnp) / radius (rgg)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var g *repro.Graph
+	switch *family {
+	case "tree":
+		g = repro.RandomTree(*n, *seed)
+	case "union":
+		g = repro.UnionOfTrees(*n, *alpha, *seed)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = repro.Grid(side, side)
+	case "gnp":
+		g = repro.GNP(*n, *p, *seed)
+	case "pa":
+		g = repro.PreferentialAttachment(*n, *alpha, *seed)
+	case "rgg":
+		g, _ = repro.RandomGeometric(*n, *p, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown family %q\n", *family)
+		return 1
+	}
+	if err := g.WriteEdgeList(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+// Readkdemo: the read-k inequality toolkit standalone — the analytical
+// machinery that is the reproduced paper's actual contribution. It builds
+// a read-k family by hand, checks the Gavinsky-Lovett-Saks-Srinivasan
+// bounds against Monte-Carlo estimates, and then extracts the paper's
+// Event (2) dependency structure from a real graph to show what the ρₖ
+// opt-out buys.
+//
+//	go run ./examples/readkdemo
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/readk"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Part 1: a hand-built read-3 family. 12 members over 12 base bits,
+	// member j = OR of bits j, j+1, j+2 (cyclic): every bit read 3 times.
+	const m, k = 12, 3
+	fam, err := repro.NewFamily(m)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < m; j++ {
+		deps := []int{j, (j + 1) % m, (j + 2) % m}
+		if err := fam.Add(deps, func(vals []uint64) bool {
+			return vals[0]&1 == 1 || vals[1]&1 == 1 || vals[2]&1 == 1
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("family: %d members over %d base bits, measured read parameter K = %d\n", fam.N(), fam.M(), fam.K())
+
+	exactAll, means := fam.ExactBinary()
+	p := means[0]
+	readkBound := repro.ConjunctionBound(p, fam.N(), fam.K())
+	indep := math.Pow(p, float64(fam.N()))
+	fmt.Printf("Pr[every member = 1]: exact %.4f\n", exactAll)
+	fmt.Printf("  read-k bound p^(n/k) = %.4f  (holds: %v)\n", readkBound, exactAll <= readkBound)
+	fmt.Printf("  naive independence pⁿ = %.4f (violated: %v — this is why read-k inequalities exist)\n",
+		indep, exactAll > indep)
+
+	mc, err := fam.Estimate(rng.New(1), 200000)
+	if err != nil {
+		return err
+	}
+	expY := mc.ExpectedSum()
+	delta := 0.25
+	emp := mc.TailLE(int((1 - delta) * expY))
+	fmt.Printf("lower tail Pr[Y ≤ %.1f]: empirical %.5f, Theorem 1.2 bound %.5f\n",
+		(1-delta)*expY, emp, repro.TailBound(delta, expY, fam.K()))
+
+	// Part 2: Event (2) from the paper on a real heavy-tailed graph — the
+	// read parameter with and without the ρₖ opt-out.
+	g := repro.PreferentialAttachment(2000, 3, 7)
+	o, d := orient(g)
+	all := make([]int, g.N())
+	for v := range all {
+		all[v] = v
+	}
+	_, kCapped, err := readk.Event2Family(o, all, 16)
+	if err != nil {
+		return err
+	}
+	_, kOpen, err := readk.Event2Family(o, all, 1<<30)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEvent (2) on a PA graph (n=%d, Δ=%d, orientation out-degree ≤ %d):\n", g.N(), g.MaxDegree(), d)
+	fmt.Printf("  read parameter with ρ=16 opt-out: K = %d\n", kCapped)
+	fmt.Printf("  read parameter without opt-out:   K = %d (a hub read by all its children)\n", kOpen)
+	fmt.Println("the opt-out is exactly what makes the paper's Theorem 3.2 tail bound applicable")
+	return nil
+}
+
+// orient builds the degeneracy orientation the analysis quantifies over.
+func orient(g *repro.Graph) (*graph.Orientation, int) {
+	return g.OrientByDegeneracy()
+}

@@ -1,0 +1,82 @@
+// Sensornet: cluster-head election in a wireless sensor deployment — the
+// classic application that motivates distributed MIS. Sensors scattered in
+// the unit square hear each other within a fixed radio radius (a random
+// geometric graph, which has bounded arboricity at this density); an MIS of
+// the communication graph is exactly a set of cluster heads such that no
+// two heads interfere and every sensor hears at least one head.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		sensors = 2000
+		radius  = 0.05 // radio range in unit-square coordinates
+	)
+	g, pts := repro.RandomGeometric(sensors, radius, 7)
+	lo, hi := repro.ArboricityBounds(g)
+	fmt.Printf("deployment: %d sensors, %d links, max degree %d, arboricity in [%d,%d]\n",
+		g.N(), g.M(), g.MaxDegree(), lo, hi)
+
+	out, err := repro.ComputeMIS(g, hi, repro.Options{Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elected %d cluster heads in %d radio rounds\n", out.MISSize(), out.TotalRounds())
+
+	// Every sensor is a head or within radio range of one (that is
+	// maximality); heads never interfere (independence). Measure the
+	// geometric quality: distance from each non-head to its nearest head.
+	var worst, sum float64
+	count := 0
+	for v := range pts {
+		if out.MIS[v] {
+			continue
+		}
+		best := math.Inf(1)
+		for _, w := range g.Neighbors(v) {
+			if !out.MIS[w] {
+				continue
+			}
+			dx := pts[v][0] - pts[w][0]
+			dy := pts[v][1] - pts[w][1]
+			if d := math.Hypot(dx, dy); d < best {
+				best = d
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Isolated sensors are their own heads; the verifier below
+			// would have caught a genuinely uncovered sensor.
+			continue
+		}
+		sum += best
+		count++
+		if best > worst {
+			worst = best
+		}
+	}
+	if count > 0 {
+		fmt.Printf("coverage: mean head distance %.4f, worst %.4f (radio range %.2f)\n",
+			sum/float64(count), worst, radius)
+	}
+	if err := repro.VerifyMIS(g, out.MIS); err != nil {
+		return err
+	}
+	fmt.Println("verified: no two heads interfere; every sensor hears a head")
+	return nil
+}

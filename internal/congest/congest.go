@@ -1,0 +1,417 @@
+// Package congest simulates the synchronous CONGEST model of distributed
+// computing: one state machine per graph vertex, lock-step rounds, and
+// messages between neighbors whose size the engine meters (the CONGEST
+// model allows O(log n) bits per edge per round).
+//
+// Two interchangeable drivers execute a program:
+//
+//   - the sequential driver sweeps vertices in ID order each round (fast;
+//     used for large experiment sweeps), and
+//   - the goroutine driver runs one goroutine per vertex with a barrier
+//     between rounds (the "goroutines map naturally to nodes" execution
+//     the repository showcases).
+//
+// Both drivers produce bit-identical executions for the same seed: each
+// node owns a private RNG stream split from the run seed by vertex ID, and
+// inboxes are delivered sorted by sender, so scheduling order cannot leak
+// into algorithm behaviour.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Payload is the content of a message. Bits reports the payload's encoded
+// size in bits so the engine can audit CONGEST compliance; implementations
+// must return a positive constant or ID-length-bounded value.
+type Payload interface {
+	Bits() int
+}
+
+// Message is a payload annotated with its sender's vertex ID.
+type Message struct {
+	From    int
+	Payload Payload
+}
+
+// Node is one vertex's state machine. Init runs before round 1 and may
+// send messages (delivered in round 1). Round runs once per round with the
+// messages delivered this round. A node that calls Context.Halt receives no
+// further Round calls.
+type Node interface {
+	Init(ctx *Context)
+	Round(ctx *Context, inbox []Message)
+}
+
+// Context is the per-node view of the network that the engine passes to
+// Init and Round. It is only valid during the call it is passed to.
+type Context struct {
+	id        int
+	n         int
+	neighbors []int
+	rng       *rng.RNG
+	round     int
+	halted    bool
+	outbox    []addressed
+	runner    *Runner
+	err       error
+}
+
+type addressed struct {
+	to  int
+	msg Message
+}
+
+// ID returns this vertex's identifier (0..N-1). In CONGEST nodes know their
+// own O(log n)-bit ID and those of their neighbors.
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of vertices in the network. (Algorithms in this repo
+// use it only for parameterization that the model allows — e.g. knowing n
+// up to a constant factor.)
+func (c *Context) N() int { return c.n }
+
+// Round returns the current round number, starting at 1. During Init it
+// returns 0.
+func (c *Context) Round() int { return c.round }
+
+// Neighbors returns the sorted neighbor IDs. The slice aliases graph
+// storage and must not be modified.
+func (c *Context) Neighbors() []int { return c.neighbors }
+
+// Degree returns the vertex degree.
+func (c *Context) Degree() int { return len(c.neighbors) }
+
+// RNG returns this node's private random stream. Draws are deterministic
+// given the run seed and vertex ID, and no other node shares the stream.
+func (c *Context) RNG() *rng.RNG { return c.rng }
+
+// Send queues a message to neighbor `to` for delivery next round. Sending
+// to a non-neighbor is a programming error and poisons the run with an
+// error (the model has no routing).
+func (c *Context) Send(to int, p Payload) {
+	if !c.isNeighbor(to) {
+		c.err = fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to)
+		return
+	}
+	c.enqueue(to, p)
+}
+
+// Broadcast queues a message to every neighbor for delivery next round.
+func (c *Context) Broadcast(p Payload) {
+	for _, w := range c.neighbors {
+		c.enqueue(w, p)
+	}
+}
+
+func (c *Context) enqueue(to int, p Payload) {
+	if c.runner.opts.MessageBitLimit > 0 && p.Bits() > c.runner.opts.MessageBitLimit {
+		c.err = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d",
+			c.id, p.Bits(), c.runner.opts.MessageBitLimit)
+		return
+	}
+	c.outbox = append(c.outbox, addressed{to: to, msg: Message{From: c.id, Payload: p}})
+}
+
+// Halt marks this node finished. Messages queued in the same call are still
+// delivered, but the node receives no further Round calls.
+func (c *Context) Halt() { c.halted = true }
+
+func (c *Context) isNeighbor(w int) bool {
+	i := sort.SearchInts(c.neighbors, w)
+	return i < len(c.neighbors) && c.neighbors[i] == w
+}
+
+// Options configures a run.
+type Options struct {
+	// Seed is the root seed; node v's stream is Split(v) of it.
+	Seed uint64
+	// MaxRounds aborts the run if the program has not halted by then.
+	// Zero means the DefaultMaxRounds safety net.
+	MaxRounds int
+	// Parallel selects the goroutine-per-node driver.
+	Parallel bool
+	// MessageBitLimit, when positive, fails the run if any single message
+	// exceeds that many bits (CONGEST compliance enforcement).
+	MessageBitLimit int
+	// DropProb, when positive, drops each message independently with this
+	// probability (deterministically, from a fault stream derived from
+	// Seed). This deliberately breaks the reliable-delivery assumption of
+	// CONGEST; it exists for robustness experiments only.
+	DropProb float64
+	// Observer, when non-nil, is called after every completed round with
+	// the round number, the number of nodes still live after it, and the
+	// number of messages sent during it. Round 0 reports Init. It runs on
+	// the coordinator (never concurrently) and must not retain the engine.
+	Observer func(round, live int, sent int64)
+}
+
+// DefaultMaxRounds bounds runaway programs. It is generous: every algorithm
+// in this repository finishes in O(log² n) rounds with overwhelming
+// probability.
+const DefaultMaxRounds = 1 << 20
+
+// Result summarizes a completed run.
+type Result struct {
+	// Rounds is the number of communication rounds executed (Init is round 0
+	// and not counted; a program that halts every node in Init reports 0).
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// TotalBits is the sum of payload sizes over all delivered messages.
+	TotalBits int64
+	// MaxMessageBits is the largest single payload observed.
+	MaxMessageBits int
+	// Dropped counts messages discarded by fault injection.
+	Dropped int64
+}
+
+// ErrMaxRounds reports that a run was aborted before all nodes halted.
+var ErrMaxRounds = errors.New("congest: max rounds exceeded before all nodes halted")
+
+// Runner executes a program over a graph. Construct with NewRunner; a
+// Runner is single-use (Run may be called once).
+type Runner struct {
+	g     *graph.Graph
+	nodes []Node
+	opts  Options
+	ran   bool
+}
+
+// NewRunner builds a runner for the given graph. factory(v) must return the
+// state machine for vertex v; it is called once per vertex in ID order.
+func NewRunner(g *graph.Graph, factory func(v int) Node, opts Options) *Runner {
+	nodes := make([]Node, g.N())
+	for v := range nodes {
+		nodes[v] = factory(v)
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	return &Runner{g: g, nodes: nodes, opts: opts}
+}
+
+// Node returns vertex v's state machine, for reading outputs after Run.
+func (r *Runner) Node(v int) Node { return r.nodes[v] }
+
+// Run executes the program to completion and returns run statistics. It
+// returns ErrMaxRounds if any node is still live at the round limit, or the
+// first model violation (send to non-neighbor, oversized message) detected.
+func (r *Runner) Run() (Result, error) {
+	if r.ran {
+		return Result{}, errors.New("congest: Runner is single-use; construct a new one per run")
+	}
+	r.ran = true
+	if r.opts.Parallel {
+		return r.runParallel()
+	}
+	return r.runSequential()
+}
+
+// execState is the driver-independent bookkeeping for a run.
+type execState struct {
+	ctxs     []*Context
+	inboxes  [][]Message
+	live     int
+	res      Result
+	faults   *rng.RNG
+	observed int64 // messages already reported to the observer
+}
+
+func (r *Runner) newExecState() *execState {
+	root := rng.New(r.opts.Seed)
+	n := r.g.N()
+	st := &execState{
+		ctxs:    make([]*Context, n),
+		inboxes: make([][]Message, n),
+		live:    n,
+	}
+	if r.opts.DropProb > 0 {
+		st.faults = root.Split(^uint64(0))
+	}
+	for v := 0; v < n; v++ {
+		st.ctxs[v] = &Context{
+			id:        v,
+			n:         n,
+			neighbors: r.g.Neighbors(v),
+			rng:       root.Split(uint64(v)),
+			runner:    r,
+		}
+	}
+	return st
+}
+
+// deliver moves every context's outbox into the next round's inboxes,
+// applying fault injection and accounting. It returns the first model
+// violation recorded by any context.
+func (r *Runner) deliver(st *execState) error {
+	for v := range st.ctxs {
+		ctx := st.ctxs[v]
+		if ctx.err != nil {
+			return ctx.err
+		}
+	}
+	for v := range st.inboxes {
+		st.inboxes[v] = st.inboxes[v][:0]
+	}
+	// Deterministic fault decisions: iterate contexts in ID order.
+	for v := range st.ctxs {
+		ctx := st.ctxs[v]
+		for _, a := range ctx.outbox {
+			if st.faults != nil && st.faults.Bool(r.opts.DropProb) {
+				st.res.Dropped++
+				continue
+			}
+			st.inboxes[a.to] = append(st.inboxes[a.to], a.msg)
+			st.res.Messages++
+			bits := a.msg.Payload.Bits()
+			st.res.TotalBits += int64(bits)
+			if bits > st.res.MaxMessageBits {
+				st.res.MaxMessageBits = bits
+			}
+		}
+		ctx.outbox = ctx.outbox[:0]
+	}
+	// Sorted inboxes make delivery order independent of the driver.
+	for v := range st.inboxes {
+		inbox := st.inboxes[v]
+		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+	}
+	return nil
+}
+
+// countHalts updates the live-node count after a sweep.
+func (st *execState) countHalts() {
+	live := 0
+	for _, ctx := range st.ctxs {
+		if !ctx.halted {
+			live++
+		}
+	}
+	st.live = live
+}
+
+func (r *Runner) runSequential() (Result, error) {
+	st := r.newExecState()
+	for v, node := range r.nodes {
+		node.Init(st.ctxs[v])
+	}
+	if err := r.deliver(st); err != nil {
+		return st.res, err
+	}
+	st.countHalts()
+	r.observe(st, 0)
+	for round := 1; st.live > 0; round++ {
+		if round > r.opts.MaxRounds {
+			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
+		}
+		st.res.Rounds = round
+		for v, node := range r.nodes {
+			ctx := st.ctxs[v]
+			if ctx.halted {
+				continue
+			}
+			ctx.round = round
+			node.Round(ctx, st.inboxes[v])
+		}
+		if err := r.deliver(st); err != nil {
+			return st.res, err
+		}
+		st.countHalts()
+		r.observe(st, round)
+	}
+	return st.res, nil
+}
+
+// observe reports one completed round to the configured observer, deriving
+// the per-round sent count from the running message total.
+func (r *Runner) observe(st *execState, round int) {
+	if r.opts.Observer == nil {
+		return
+	}
+	sent := st.res.Messages + st.res.Dropped - st.observed
+	st.observed = st.res.Messages + st.res.Dropped
+	r.opts.Observer(round, st.live, sent)
+}
+
+// runParallel runs one long-lived goroutine per vertex with a channel
+// barrier per round. The execution is identical to the sequential driver
+// because nodes only touch their own context and RNG stream, inboxes are
+// pre-sorted by sender, and delivery happens on the coordinator between
+// rounds.
+func (r *Runner) runParallel() (Result, error) {
+	st := r.newExecState()
+	n := r.g.N()
+	type work struct {
+		round int
+		inbox []Message
+	}
+	starts := make([]chan work, n)
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		starts[v] = make(chan work, 1)
+		go func(v int) {
+			defer wg.Done()
+			node, ctx := r.nodes[v], st.ctxs[v]
+			for w := range starts[v] {
+				ctx.round = w.round
+				if w.round == 0 {
+					node.Init(ctx)
+				} else {
+					node.Round(ctx, w.inbox)
+				}
+				done <- v
+			}
+		}(v)
+	}
+	defer func() {
+		for v := range starts {
+			close(starts[v])
+		}
+		wg.Wait()
+	}()
+
+	// runRound dispatches one lock-step round to every live node and waits
+	// for all of them — the synchronous-model barrier.
+	runRound := func(round int) {
+		dispatched := 0
+		for v := 0; v < n; v++ {
+			if round > 0 && st.ctxs[v].halted {
+				continue
+			}
+			starts[v] <- work{round: round, inbox: st.inboxes[v]}
+			dispatched++
+		}
+		for i := 0; i < dispatched; i++ {
+			<-done
+		}
+	}
+
+	runRound(0)
+	if err := r.deliver(st); err != nil {
+		return st.res, err
+	}
+	st.countHalts()
+	r.observe(st, 0)
+	for round := 1; st.live > 0; round++ {
+		if round > r.opts.MaxRounds {
+			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
+		}
+		st.res.Rounds = round
+		runRound(round)
+		if err := r.deliver(st); err != nil {
+			return st.res, err
+		}
+		st.countHalts()
+		r.observe(st, round)
+	}
+	return st.res, nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/proto"
+)
+
+// ScaleRecord is one node's instrumentation snapshot at the end of a scale,
+// taken just before the bad test. It is exactly the quantity the paper's
+// Invariant bounds: the number of active neighbors whose active degree
+// exceeds the scale's high-degree threshold.
+type ScaleRecord struct {
+	// Scale is the 1-based scale index k.
+	Scale int
+	// DegIB is this node's own active degree at the end of the scale.
+	DegIB int
+	// HighDegNbrs is |{w ∈ Γ_IB(v) : deg_IB(w) > Δ/2ᵏ + α}|.
+	HighDegNbrs int
+	// Bound is the Invariant's right-hand side Δ/2ᵏ⁺² for this scale.
+	Bound int
+}
+
+// Alg1Output is the result of one BoundedArbIndependentSet run.
+type Alg1Output struct {
+	// Statuses holds, per node: StatusInMIS (joined I), StatusDominated
+	// (neighbor joined I), StatusBad (placed in B), or StatusActive (still
+	// in V_IB when the scales ran out — the deferred set the finishing
+	// stages handle).
+	Statuses []base.Status
+	// Traces[v] holds v's per-scale records for the scales it survived.
+	Traces [][]ScaleRecord
+	// Result carries engine round/message accounting.
+	Result congest.Result
+	// Params echoes the parameters the run used.
+	Params *Params
+}
+
+// CountStatus tallies how many nodes finished with status s.
+func (o *Alg1Output) CountStatus(s base.Status) int {
+	n := 0
+	for _, got := range o.Statuses {
+		if got == s {
+			n++
+		}
+	}
+	return n
+}
+
+// node is the per-vertex state machine of Algorithm 1. The whole schedule
+// is fixed in advance (nodes know Δ and α, hence Θ, Λ and every
+// threshold), so a node derives its current (scale, iteration, phase) from
+// the global round number:
+//
+//	slot s = round; scale k = s/(3Λ+2)+1; within a scale:
+//	  slots 0..3Λ-1: priority iterations, three phases each
+//	    phase 0: process removals, choose & broadcast priority (ρₖ opt-out)
+//	    phase 1: compare priorities; local maxima join I and halt
+//	    phase 2: neighbors of joiners announce removal and halt
+//	  slot 3Λ:    process removals, broadcast current active degree
+//	  slot 3Λ+1:  count high-degree active neighbors; nodes over the
+//	              Invariant bound turn bad, announce removal and halt
+type node struct {
+	params   *Params
+	status   base.Status
+	active   *base.ActiveSet
+	priority uint64
+	compete  bool
+	trace    []ScaleRecord
+}
+
+// Status implements base.Membership.
+func (nd *node) Status() base.Status { return nd.status }
+
+// NewProgram returns a factory for Algorithm 1 nodes with the given
+// parameters.
+func NewProgram(params *Params) func(v int) congest.Node {
+	return func(int) congest.Node {
+		return &node{params: params, status: base.StatusActive}
+	}
+}
+
+// RunAlg1 executes BoundedArbIndependentSet on g.
+func RunAlg1(g *graph.Graph, params *Params, opts congest.Options) (*Alg1Output, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Delta < g.MaxDegree() {
+		return nil, fmt.Errorf("core: params built for Δ=%d but graph has Δ=%d", params.Delta, g.MaxDegree())
+	}
+	r := congest.NewRunner(g, NewProgram(params), opts)
+	res, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Alg1Output{
+		Statuses: base.Statuses(r, g.N()),
+		Traces:   make([][]ScaleRecord, g.N()),
+		Result:   res,
+		Params:   params,
+	}
+	for v := 0; v < g.N(); v++ {
+		out.Traces[v] = r.Node(v).(*node).trace
+	}
+	return out, nil
+}
+
+func (nd *node) Init(ctx *congest.Context) {
+	nd.active = base.NewActiveSet(ctx.Neighbors())
+	if nd.params.TotalRounds() == 0 {
+		// Θ = 0: the scale loop is empty (paper constants at small Δ);
+		// every node stays in V_IB for the finishing stages.
+		ctx.Halt()
+		return
+	}
+	nd.startIteration(ctx, 1)
+}
+
+// scaleOf maps a slot (round number) to its 1-based scale.
+func (nd *node) scaleOf(slot int) int {
+	return slot/nd.params.RoundsPerScale() + 1
+}
+
+// startIteration is phase 0: apply the ρₖ opt-out and broadcast a priority.
+func (nd *node) startIteration(ctx *congest.Context, scale int) {
+	nd.compete = !nd.params.RhoOptOut || nd.active.Count() <= nd.params.Rho(scale)
+	if nd.compete {
+		nd.priority = ctx.RNG().Uint64()
+	} else {
+		nd.priority = 0 // the paper's deterministic r(v) ← 0
+	}
+	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: nd.compete})
+}
+
+// processRemovals shrinks the active set from removal announcements.
+func (nd *node) processRemovals(inbox []congest.Message) {
+	for _, m := range inbox {
+		if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+			nd.active.Remove(m.From)
+		}
+	}
+}
+
+func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
+	slot := ctx.Round()
+	p := nd.params
+	inScale := slot % p.RoundsPerScale()
+	scale := nd.scaleOf(slot)
+	last := slot == p.TotalRounds()-1
+
+	switch {
+	case inScale < 3*p.Iterations:
+		switch inScale % 3 {
+		case 0: // fresh iteration
+			nd.processRemovals(inbox)
+			nd.startIteration(ctx, scale)
+		case 1: // priorities arrived
+			if nd.wins(ctx.ID(), inbox) {
+				nd.status = base.StatusInMIS
+				ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+				ctx.Halt()
+			}
+		case 2: // join announcements
+			for _, m := range inbox {
+				if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+					nd.status = base.StatusDominated
+					ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+					ctx.Halt()
+					return
+				}
+			}
+		}
+	case inScale == 3*p.Iterations: // degree exchange
+		nd.processRemovals(inbox)
+		ctx.Broadcast(proto.Degree{Value: int32(nd.active.Count())})
+	default: // bad test (inScale == 3Λ+1)
+		high := 0
+		threshold := p.HighDeg(scale)
+		for _, m := range inbox {
+			if d, ok := m.Payload.(proto.Degree); ok && nd.active.Contains(m.From) {
+				if int(d.Value) > threshold {
+					high++
+				}
+			}
+		}
+		nd.trace = append(nd.trace, ScaleRecord{
+			Scale:       scale,
+			DegIB:       nd.active.Count(),
+			HighDegNbrs: high,
+			Bound:       p.BadLimit(scale),
+		})
+		if high > p.BadLimit(scale) {
+			nd.status = base.StatusBad
+			ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+			ctx.Halt()
+			return
+		}
+		if last {
+			ctx.Halt() // survivor: stays StatusActive for the finisher
+		}
+	}
+}
+
+// wins reports whether this node's priority beats every neighbor's. The
+// paper's semantics: non-competitive nodes hold r = 0 and can never win;
+// the strict comparison r(v) > max r(w) is emulated on 64-bit draws with
+// sender-ID tie-breaking.
+func (nd *node) wins(id int, inbox []congest.Message) bool {
+	if !nd.compete {
+		return false
+	}
+	for _, m := range inbox {
+		p, ok := m.Payload.(proto.Priority)
+		if !ok {
+			continue
+		}
+		eff := uint64(0)
+		if p.Competitive {
+			eff = p.Value
+		}
+		if eff > nd.priority || (eff == nd.priority && m.From > id) {
+			return false
+		}
+	}
+	return true
+}

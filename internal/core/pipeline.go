@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/degreduce"
+	"repro/internal/mis/localmin"
+	"repro/internal/shatter"
+)
+
+// BadFinisher selects the deterministic algorithm used on the shattered
+// bad components (and, in ArbMIS, nothing else).
+type BadFinisher int
+
+// Finisher choices. They start at 1 so the zero value is caught.
+const (
+	// FinisherLocalMin is the local-minimum-ID sweep: rounds bounded by
+	// the largest bad component. The default.
+	FinisherLocalMin BadFinisher = iota + 1
+	// FinisherForestCV is the paper's Lemma 3.8 pipeline: Barenboim-Elkin
+	// forest decomposition + per-forest Cole-Vishkin colorings + a color-
+	// vector sweep.
+	FinisherForestCV
+)
+
+// ArbMISWithFinisher is ArbMIS with an explicit choice of bad-component
+// finisher; see ArbMIS for the pipeline description.
+func ArbMISWithFinisher(g *graph.Graph, params *Params, finisher BadFinisher, opts congest.Options) (*Outcome, error) {
+	switch finisher {
+	case FinisherLocalMin:
+		return arbMIS(g, params, opts, localMinStage)
+	case FinisherForestCV:
+		alpha := params.Alpha
+		return arbMIS(g, params, opts, func(sub *graph.Graph, o congest.Options) ([]base.Status, congest.Result, error) {
+			res, err := shatter.Finish(sub, alpha, o)
+			if err != nil {
+				return nil, congest.Result{}, err
+			}
+			return res.Statuses, congest.Result{Rounds: res.TotalRounds()}, nil
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown bad finisher %d", int(finisher))
+	}
+}
+
+func localMinStage(sub *graph.Graph, o congest.Options) ([]base.Status, congest.Result, error) {
+	return localmin.Run(sub, o)
+}
+
+// FullOutcome is the result of the complete §3.3 pipeline including the
+// degree-reduction preprocessing.
+type FullOutcome struct {
+	// MIS is the verified maximal independent set of the input graph.
+	MIS []bool
+	// ReductionResult accounts the preprocessing stage.
+	ReductionResult congest.Result
+	// ReductionIterations is the preprocessing budget that was used.
+	ReductionIterations int
+	// SurvivorCount and SurvivorMaxDegree describe the graph handed to
+	// ArbMIS; TargetDegree is the α·2^√(log n·log log n) goal from the
+	// degree-reduction theorem.
+	SurvivorCount     int
+	SurvivorMaxDegree int
+	TargetDegree      float64
+	// Core is the ArbMIS outcome on the survivor subgraph (nil when the
+	// preprocessing resolved the whole graph).
+	Core *Outcome
+}
+
+// TotalRounds sums preprocessing and ArbMIS rounds.
+func (o *FullOutcome) TotalRounds() int {
+	t := o.ReductionResult.Rounds
+	if o.Core != nil {
+		t += o.Core.TotalRounds()
+	}
+	return t
+}
+
+// ArbMISFull runs the paper's complete recipe (§3.3 closing paragraph):
+// degree-reduction preprocessing for O(√(log n·log log n)) priority
+// iterations, then ArbMIS — with parameters rebuilt for the *reduced*
+// maximum degree — on the surviving subgraph, then composition. The
+// preprocessing constant c scales the iteration budget (the theorem's
+// "large enough constant"); 1 is a sensible default.
+func ArbMISFull(g *graph.Graph, alpha int, c float64, opts congest.Options) (*FullOutcome, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("core: alpha %d < 1", alpha)
+	}
+	iters := degreduce.Iterations(g.N(), c)
+	statuses, res, err := degreduce.Run(g, iters, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: degree reduction: %w", err)
+	}
+	full := &FullOutcome{
+		MIS:                 make([]bool, g.N()),
+		ReductionResult:     res,
+		ReductionIterations: iters,
+		TargetDegree:        degreduce.TargetDegree(g.N(), alpha),
+	}
+	for v, s := range statuses {
+		if s == base.StatusInMIS {
+			full.MIS[v] = true
+		}
+	}
+	alive, sub, err := degreduce.Survivors(g, statuses)
+	if err != nil {
+		return nil, err
+	}
+	full.SurvivorCount = len(alive)
+	full.SurvivorMaxDegree = sub.MaxDegree()
+	if len(alive) > 0 {
+		params := PracticalParams(alpha, sub.MaxDegree())
+		out, err := ArbMIS(sub, params, stageOpts(opts, 0xF))
+		if err != nil {
+			return nil, fmt.Errorf("core: arbmis on survivors: %w", err)
+		}
+		full.Core = out
+		for i, v := range alive {
+			if out.MIS[i] {
+				full.MIS[v] = true
+			}
+		}
+	}
+	if err := g.VerifyMIS(full.MIS); err != nil {
+		return nil, fmt.Errorf("core: full pipeline produced an invalid MIS: %w", err)
+	}
+	return full, nil
+}

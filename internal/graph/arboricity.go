@@ -1,0 +1,50 @@
+package graph
+
+import "math/bits"
+
+// ExactArboricity computes the arboricity of a small graph exactly via the
+// Nash-Williams formula
+//
+//	α(G) = max over vertex subsets S with |S| ≥ 2 of ⌈m(S)/(|S|-1)⌉,
+//
+// by enumerating all 2^n subsets. It is a test oracle for validating
+// ArboricityBounds and generator guarantees, and panics for n > 20.
+func (g *Graph) ExactArboricity() int {
+	n := g.N()
+	if n > 20 {
+		panic("graph: ExactArboricity is a test oracle for n <= 20")
+	}
+	if g.M() == 0 {
+		return 0
+	}
+	// Precompute adjacency bitmasks.
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	best := 1
+	for mask := uint32(3); mask < 1<<uint(n); mask++ {
+		size := bits.OnesCount32(mask)
+		if size < 2 {
+			continue
+		}
+		// Count edges inside the subset (each edge once: v against the
+		// still-unprocessed remainder).
+		edges := 0
+		rest := mask
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &^= 1 << uint(v)
+			edges += bits.OnesCount32(adj[v] & rest)
+		}
+		if edges == 0 {
+			continue
+		}
+		if b := (edges + size - 2) / (size - 1); b > best {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,310 @@
+// Package graph provides the immutable undirected-graph core used by every
+// algorithm in this repository: compressed adjacency storage, connectivity
+// queries, induced subgraphs, low-out-degree orientations and degeneracy /
+// arboricity machinery, and MIS verification oracles.
+//
+// Graphs are simple (no self-loops, no parallel edges) and immutable after
+// construction, which makes them safe to share across goroutines without
+// locks — the goroutine-per-node CONGEST driver relies on this.
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR (compressed sparse
+// row) form. Vertices are 0..N()-1. Construct with New or MustNew.
+type Graph struct {
+	offsets []int // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int // flattened sorted adjacency lists
+}
+
+// Edge is an undirected edge between U and V.
+type Edge struct {
+	U, V int
+}
+
+// ErrBadEdge reports an edge endpoint outside [0, n) or a self-loop.
+var ErrBadEdge = errors.New("graph: edge endpoint out of range or self-loop")
+
+// New builds a graph on n vertices from an edge list. Duplicate edges are
+// merged; self-loops and out-of-range endpoints are rejected.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	deg := make([]int, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrBadEdge, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: self-loop at %d", ErrBadEdge, e.U)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	offsets := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int, offsets[n])
+	fill := make([]int, n)
+	copy(fill, offsets[:n])
+	for _, e := range edges {
+		adj[fill[e.U]] = e.V
+		fill[e.U]++
+		adj[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	g.sortAndDedupe()
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose edge
+// lists are correct by construction.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAndDedupe sorts each adjacency list and removes duplicates, rebuilding
+// the CSR arrays compactly.
+func (g *Graph) sortAndDedupe() {
+	n := g.N()
+	newAdj := g.adj[:0]
+	newOffsets := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		row := g.adj[lo:hi]
+		sort.Ints(row)
+		start := len(newAdj)
+		for i, w := range row {
+			if i > 0 && w == row[i-1] {
+				continue
+			}
+			newAdj = append(newAdj, w)
+		}
+		newOffsets[v] = start
+	}
+	newOffsets[n] = len(newAdj)
+	// newAdj aliases g.adj's storage (writes always trail reads), so copy
+	// into a right-sized slice to release the slack.
+	g.adj = append([]int(nil), newAdj...)
+	g.offsets = newOffsets
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return g.offsets[v+1] - g.offsets[v] }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[g.offsets[v]:g.offsets[v+1]] }
+
+// HasEdge reports whether {u, v} is an edge (binary search).
+func (g *Graph) HasEdge(u, v int) bool {
+	row := g.Neighbors(u)
+	i := sort.SearchInts(row, v)
+	return i < len(row) && row[i] == v
+}
+
+// MaxDegree returns the maximum degree Δ, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns 2m/n, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// Edges returns the edge list with U < V in each edge, sorted.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				edges = append(edges, Edge{U: v, V: w})
+			}
+		}
+	}
+	return edges
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices along
+// with the mapping back to original IDs: orig[i] is the original ID of the
+// subgraph's vertex i. Duplicate vertices in the input are an error.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	index := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := index[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		index[v] = i
+		orig[i] = v
+	}
+	var edges []Edge
+	for i, v := range orig {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := index[w]; ok && i < j {
+				edges = append(edges, Edge{U: i, V: j})
+			}
+		}
+	}
+	sub, err := New(len(vertices), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}
+
+// Components labels vertices with connected-component IDs (0-based, in
+// order of first discovery) and returns the label slice and component count.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int, 0, 64)
+	for s := 0; s < g.N(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if comp[w] < 0 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// ComponentSizes returns the size of each component given a labeling from
+// Components.
+func ComponentSizes(comp []int, count int) []int {
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// BFS returns the distance (in hops) from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// IsForest reports whether the graph is acyclic (m = n - #components).
+func (g *Graph) IsForest() bool {
+	_, c := g.Components()
+	return g.M() == g.N()-c
+}
+
+// WriteEdgeList writes the graph as "n m" followed by one "u v" line per
+// edge, a format ReadEdgeList can parse back.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	edges := make([]Edge, m)
+	for i := 0; i < m; i++ {
+		if _, err := fmt.Fscan(br, &edges[i].U, &edges[i].V); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+	}
+	return New(n, edges)
+}
+
+// DistancePower returns the graph G^[lo,hi] that connects u and v exactly
+// when their hop distance in g lies in [lo, hi]. The reproduced paper's
+// Lemma 3.7 argues over G^[7,13]: bad events at nodes that far apart are
+// independent, which is what bounds the size of connected bad clusters.
+// Runs one BFS per vertex (O(n·m)); fine for the component-scale graphs
+// the lemma is applied to.
+func (g *Graph) DistancePower(lo, hi int) (*Graph, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("graph: invalid distance range [%d,%d]", lo, hi)
+	}
+	var edges []Edge
+	for v := 0; v < g.N(); v++ {
+		dist := g.BFS(v)
+		for w := v + 1; w < g.N(); w++ {
+			if dist[w] >= lo && dist[w] <= hi {
+				edges = append(edges, Edge{U: v, V: w})
+			}
+		}
+	}
+	return New(g.N(), edges)
+}

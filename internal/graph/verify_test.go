@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestVerifyMISAcceptsValid(t *testing.T) {
+	g := path(5)
+	// {0, 2, 4} is an MIS of the path 0-1-2-3-4.
+	set := []bool{true, false, true, false, true}
+	if err := g.VerifyMIS(set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMISRejectsDependent(t *testing.T) {
+	g := path(3)
+	set := []bool{true, true, false}
+	err := g.VerifyMIS(set)
+	if err == nil || !strings.Contains(err.Error(), "independent") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyMISRejectsNonMaximal(t *testing.T) {
+	g := path(5)
+	set := []bool{true, false, false, false, true} // 2 is uncovered
+	err := g.VerifyMIS(set)
+	if err == nil || !strings.Contains(err.Error(), "maximal") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyMISRejectsWrongLength(t *testing.T) {
+	g := path(4)
+	if err := g.VerifyMIS([]bool{true}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestVerifyMISEmptyGraph(t *testing.T) {
+	g := MustNew(0, nil)
+	if err := g.VerifyMIS(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMISIsolatedVerticesMustJoin(t *testing.T) {
+	g := MustNew(3, nil)
+	if err := g.VerifyMIS([]bool{true, true, false}); err == nil {
+		t.Fatal("isolated vertex left out but accepted")
+	}
+	if err := g.VerifyMIS([]bool{true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsIndependentReportsEdge(t *testing.T) {
+	g := cycle(4)
+	ok, bad := g.IsIndependent([]bool{true, true, false, false})
+	if ok {
+		t.Fatal("dependent set accepted")
+	}
+	if bad.U != 0 || bad.V != 1 {
+		t.Fatalf("bad edge = %v", bad)
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	if SetSize([]bool{true, false, true, true}) != 3 {
+		t.Fatal("SetSize wrong")
+	}
+	if SetSize(nil) != 0 {
+		t.Fatal("SetSize(nil) != 0")
+	}
+}
+
+func TestAllMaximalIndependentSetsTriangle(t *testing.T) {
+	// K3 has exactly three maximal independent sets: each single vertex.
+	sets := complete(3).AllMaximalIndependentSets()
+	if len(sets) != 3 {
+		t.Fatalf("got %d MIS, want 3", len(sets))
+	}
+	for _, s := range sets {
+		if SetSize(s) != 1 {
+			t.Fatalf("K3 MIS of size %d", SetSize(s))
+		}
+	}
+}
+
+func TestAllMaximalIndependentSetsPath(t *testing.T) {
+	// P4 (0-1-2-3) maximal independent sets: {0,2}, {0,3}, {1,3}.
+	sets := path(4).AllMaximalIndependentSets()
+	if len(sets) != 3 {
+		t.Fatalf("got %d MIS, want 3", len(sets))
+	}
+}
+
+func TestAllMaximalIndependentSetsPanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(30, nil).AllMaximalIndependentSets()
+}
+
+func TestBruteForceAgreesWithVerifier(t *testing.T) {
+	// Every set returned by the brute-force oracle passes the verifier, and
+	// sampled non-returned sets fail it.
+	r := rng.New(50)
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(r, 8, 0.3)
+		valid := map[uint32]bool{}
+		for _, s := range g.AllMaximalIndependentSets() {
+			var mask uint32
+			for v, in := range s {
+				if in {
+					mask |= 1 << v
+				}
+			}
+			valid[mask] = true
+		}
+		for mask := uint32(0); mask < 1<<8; mask++ {
+			set := make([]bool, 8)
+			for v := 0; v < 8; v++ {
+				set[v] = mask&(1<<v) != 0
+			}
+			err := g.VerifyMIS(set)
+			if valid[mask] && err != nil {
+				t.Fatalf("oracle set %b rejected: %v", mask, err)
+			}
+			if !valid[mask] && err == nil {
+				t.Fatalf("non-oracle set %b accepted", mask)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package base holds the small pieces shared by every MIS node program:
+// the node-status vocabulary, the active-neighbor tracker, and helpers for
+// reading results out of a finished CONGEST run.
+package base
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Status is a node's final (or current) classification.
+type Status int
+
+// Node statuses. They start at 1 so an uninitialized status is detectably
+// invalid.
+const (
+	// StatusActive means the node is still undecided.
+	StatusActive Status = iota + 1
+	// StatusInMIS means the node joined the independent set.
+	StatusInMIS
+	// StatusDominated means a neighbor joined the independent set.
+	StatusDominated
+	// StatusBad means the node was placed in the bad set B by the core
+	// algorithm (Algorithm 1 step 2(b)) and awaits the finishing stage.
+	StatusBad
+)
+
+// String renders a status for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusInMIS:
+		return "in-mis"
+	case StatusDominated:
+		return "dominated"
+	case StatusBad:
+		return "bad"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Membership is implemented by node programs whose output is a Status.
+type Membership interface {
+	Status() Status
+}
+
+// Statuses reads the final status of every node from a finished runner.
+// It panics if a node program does not implement Membership (a wiring bug).
+func Statuses(r *congest.Runner, n int) []Status {
+	out := make([]Status, n)
+	for v := 0; v < n; v++ {
+		m, ok := r.Node(v).(Membership)
+		if !ok {
+			panic(fmt.Sprintf("base: node %d (%T) does not implement Membership", v, r.Node(v)))
+		}
+		out[v] = m.Status()
+	}
+	return out
+}
+
+// MISSet converts statuses to the boolean set representation the graph
+// verifier consumes.
+func MISSet(statuses []Status) []bool {
+	set := make([]bool, len(statuses))
+	for v, s := range statuses {
+		set[v] = s == StatusInMIS
+	}
+	return set
+}
+
+// ActiveSet tracks which neighbors of a node are still active. MIS node
+// programs use it to maintain deg_IB(v) (the paper's notation for a node's
+// degree restricted to active nodes) as neighbors announce removal.
+type ActiveSet struct {
+	ids    []int // sorted neighbor IDs
+	active []bool
+	count  int
+}
+
+// NewActiveSet starts with every listed neighbor active. The ids slice must
+// be sorted (graph adjacency lists are); it is not copied.
+func NewActiveSet(ids []int) *ActiveSet {
+	return &ActiveSet{
+		ids:    ids,
+		active: allTrue(len(ids)),
+		count:  len(ids),
+	}
+}
+
+func allTrue(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+// Count returns the number of active neighbors (deg_IB).
+func (s *ActiveSet) Count() int { return s.count }
+
+// Contains reports whether neighbor id is still active.
+func (s *ActiveSet) Contains(id int) bool {
+	i := s.indexOf(id)
+	return i >= 0 && s.active[i]
+}
+
+// Remove marks neighbor id inactive. Removing an unknown or already
+// inactive neighbor is a no-op (duplicate announcements are harmless).
+func (s *ActiveSet) Remove(id int) {
+	i := s.indexOf(id)
+	if i >= 0 && s.active[i] {
+		s.active[i] = false
+		s.count--
+	}
+}
+
+// Each calls f for every active neighbor in increasing ID order.
+func (s *ActiveSet) Each(f func(id int)) {
+	for i, id := range s.ids {
+		if s.active[i] {
+			f(id)
+		}
+	}
+}
+
+func (s *ActiveSet) indexOf(id int) int {
+	i := sort.SearchInts(s.ids, id)
+	if i < len(s.ids) && s.ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// VerifyStatuses checks that statuses encode a complete, consistent MIS
+// outcome for g: no node still active, every dominated node has an in-MIS
+// neighbor, and the in-MIS set passes the graph verifier.
+func VerifyStatuses(g *graph.Graph, statuses []Status) error {
+	for v, s := range statuses {
+		switch s {
+		case StatusInMIS, StatusDominated:
+		case StatusActive, StatusBad:
+			return fmt.Errorf("base: node %d finished with status %v", v, s)
+		default:
+			return fmt.Errorf("base: node %d has invalid status %d", v, int(s))
+		}
+	}
+	for v, s := range statuses {
+		if s != StatusDominated {
+			continue
+		}
+		ok := false
+		for _, w := range g.Neighbors(v) {
+			if statuses[w] == StatusInMIS {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("base: node %d dominated but no neighbor in MIS", v)
+		}
+	}
+	return g.VerifyMIS(MISSet(statuses))
+}

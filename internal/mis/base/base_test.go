@@ -1,0 +1,105 @@
+package base
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestActiveSetBasics(t *testing.T) {
+	s := NewActiveSet([]int{2, 5, 9})
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if !s.Contains(5) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	s.Remove(5)
+	if s.Count() != 2 || s.Contains(5) {
+		t.Fatal("Remove failed")
+	}
+	// Removing again, or removing a stranger, is a no-op.
+	s.Remove(5)
+	s.Remove(100)
+	if s.Count() != 2 {
+		t.Fatalf("count after no-op removals = %d", s.Count())
+	}
+}
+
+func TestActiveSetEachOrdered(t *testing.T) {
+	s := NewActiveSet([]int{1, 3, 5, 7})
+	s.Remove(3)
+	var got []int
+	s.Each(func(id int) { got = append(got, id) })
+	want := []int{1, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestActiveSetEmpty(t *testing.T) {
+	s := NewActiveSet(nil)
+	if s.Count() != 0 {
+		t.Fatal("empty set has members")
+	}
+	s.Each(func(int) { t.Fatal("Each on empty set called f") })
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusActive:    "active",
+		StatusInMIS:     "in-mis",
+		StatusDominated: "dominated",
+		StatusBad:       "bad",
+		Status(99):      "status(99)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestMISSet(t *testing.T) {
+	set := MISSet([]Status{StatusInMIS, StatusDominated, StatusInMIS})
+	if !set[0] || set[1] || !set[2] {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestVerifyStatusesAccepts(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err := VerifyStatuses(g, []Status{StatusInMIS, StatusDominated, StatusInMIS}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyStatusesRejectsActive(t *testing.T) {
+	g := graph.MustNew(2, []graph.Edge{{U: 0, V: 1}})
+	err := VerifyStatuses(g, []Status{StatusInMIS, StatusActive})
+	if err == nil || !strings.Contains(err.Error(), "active") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyStatusesRejectsFalseDomination(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}})
+	// Node 2 claims dominated but has no neighbors at all.
+	err := VerifyStatuses(g, []Status{StatusInMIS, StatusDominated, StatusDominated})
+	if err == nil || !strings.Contains(err.Error(), "no neighbor in MIS") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyStatusesRejectsInvalid(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	if err := VerifyStatuses(g, []Status{Status(0)}); err == nil {
+		t.Fatal("invalid status accepted")
+	}
+}

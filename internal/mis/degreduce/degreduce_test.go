@@ -1,0 +1,163 @@
+package degreduce
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/rng"
+)
+
+func TestIterationsShape(t *testing.T) {
+	if Iterations(2, 1) != 1 {
+		t.Fatal("tiny n should give 1 iteration")
+	}
+	// √(log n·log log n) growth: doubling the exponent of n multiplies the
+	// budget by < 2.
+	a, b := Iterations(1<<10, 1), Iterations(1<<20, 1)
+	if b <= a {
+		t.Fatal("budget not growing")
+	}
+	if float64(b) > 1.8*float64(a) {
+		t.Fatalf("budget grew too fast: %d -> %d", a, b)
+	}
+	if Iterations(1<<20, 2) < 2*Iterations(1<<20, 1)-1 {
+		t.Fatal("constant multiplier not honored")
+	}
+}
+
+func TestTargetDegreeShape(t *testing.T) {
+	if TargetDegree(2, 3) != 3 {
+		t.Fatal("tiny n target should be alpha")
+	}
+	// Target is 2^√(log n·log log n) scaled by alpha: monotone in both.
+	if TargetDegree(1<<20, 2) <= TargetDegree(1<<10, 2) {
+		t.Fatal("target not monotone in n")
+	}
+	if TargetDegree(1<<10, 4) != 2*TargetDegree(1<<10, 2) {
+		t.Fatal("target not linear in alpha")
+	}
+	// And it is subpolynomial: far below n for large n.
+	if TargetDegree(1<<20, 1) > math.Pow(2, 10) {
+		t.Fatalf("target %.0f too large", TargetDegree(1<<20, 1))
+	}
+}
+
+func TestRunPartialOutcome(t *testing.T) {
+	g := gen.UnionOfTrees(400, 3, rng.New(1))
+	statuses, res, err := Run(g, 1, congest.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[base.Status]int{}
+	for _, s := range statuses {
+		counts[s]++
+	}
+	// One iteration: some joined, some dominated, some survive.
+	if counts[base.StatusInMIS] == 0 || counts[base.StatusActive] == 0 {
+		t.Fatalf("unexpected outcome distribution: %v", counts)
+	}
+	// One iteration = at most 3 engine rounds.
+	if res.Rounds > 3 {
+		t.Fatalf("1 iteration took %d rounds", res.Rounds)
+	}
+	// Partial result is independent and consistent.
+	if ok, bad := g.IsIndependent(base.MISSet(statuses)); !ok {
+		t.Fatalf("not independent: %v", bad)
+	}
+	for v, s := range statuses {
+		if s != base.StatusDominated {
+			continue
+		}
+		found := false
+		for _, w := range g.Neighbors(v) {
+			if statuses[w] == base.StatusInMIS {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d dominated without MIS neighbor", v)
+		}
+	}
+}
+
+func TestRunZeroBudget(t *testing.T) {
+	g := gen.Path(10)
+	statuses, res, err := Run(g, 0, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("zero budget ran %d rounds", res.Rounds)
+	}
+	for _, s := range statuses {
+		if s != base.StatusActive {
+			t.Fatal("zero budget resolved nodes")
+		}
+	}
+}
+
+func TestSurvivors(t *testing.T) {
+	g := gen.UnionOfTrees(300, 2, rng.New(3))
+	statuses, _, err := Run(g, 1, congest.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, sub, err := Survivors(g, statuses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != len(alive) {
+		t.Fatalf("subgraph %d vs alive %d", sub.N(), len(alive))
+	}
+	for _, v := range alive {
+		if statuses[v] != base.StatusActive {
+			t.Fatalf("non-survivor %d in alive list", v)
+		}
+	}
+}
+
+func TestSurvivorsEmpty(t *testing.T) {
+	g := graph.MustNew(3, nil)
+	// Isolated vertices join immediately: no survivors after 1 iteration.
+	statuses, _, err := Run(g, 1, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, sub, err := Survivors(g, statuses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alive) != 0 || sub.N() != 0 {
+		t.Fatal("expected no survivors")
+	}
+}
+
+func TestManyIterationsResolveEverything(t *testing.T) {
+	g := gen.UnionOfTrees(300, 2, rng.New(5))
+	statuses, _, err := Run(g, 50, congest.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.VerifyStatuses(g, statuses); err != nil {
+		t.Fatalf("50 iterations should finish the MIS: %v", err)
+	}
+}
+
+func TestDegreeReductionOnHeavyTail(t *testing.T) {
+	g := gen.PreferentialAttachment(2000, 3, rng.New(7))
+	statuses, _, err := Run(g, Iterations(g.N(), 1), congest.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sub, err := Survivors(g, statuses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() > 0 && sub.MaxDegree() >= g.MaxDegree() {
+		t.Fatalf("no degree reduction: %d vs %d", sub.MaxDegree(), g.MaxDegree())
+	}
+}

@@ -1,0 +1,85 @@
+// Package localmin implements the deterministic distributed greedy MIS:
+// in each two-round iteration, every undecided node whose ID is smaller
+// than all undecided neighbors' IDs joins the MIS. Its round complexity is
+// bounded by the length of the longest decreasing-ID path, hence by the
+// component size — which is exactly why it is the right "deterministic
+// algorithm [for] each component ... since each component is small"
+// (Section 2.1 of the reproduced paper) once shattering has bounded the
+// bad components to O(Δ⁶·log_Δ n) nodes.
+package localmin
+
+import (
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/proto"
+)
+
+// node is the per-vertex state machine.
+type node struct {
+	status base.Status
+	active *base.ActiveSet
+}
+
+// Status implements base.Membership.
+func (nd *node) Status() base.Status { return nd.status }
+
+// New returns a factory for local-min MIS nodes.
+func New() func(v int) congest.Node {
+	return func(int) congest.Node {
+		return &node{status: base.StatusActive}
+	}
+}
+
+// Run executes the algorithm on g.
+func Run(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error) {
+	r := congest.NewRunner(g, New(), opts)
+	res, err := r.Run()
+	if err != nil {
+		return nil, res, err
+	}
+	return base.Statuses(r, g.N()), res, nil
+}
+
+func (nd *node) Init(ctx *congest.Context) {
+	nd.active = base.NewActiveSet(ctx.Neighbors())
+	nd.tryJoin(ctx)
+}
+
+// tryJoin joins the MIS when this node's ID is the minimum among its
+// still-undecided neighborhood. IDs are known to neighbors a priori in
+// CONGEST, so no priority exchange is needed — only removal announcements.
+func (nd *node) tryJoin(ctx *congest.Context) {
+	min := true
+	nd.active.Each(func(id int) {
+		if id < ctx.ID() {
+			min = false
+		}
+	})
+	if min {
+		nd.status = base.StatusInMIS
+		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+		ctx.Halt()
+	}
+}
+
+func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
+	switch ctx.Round() % 2 {
+	case 1: // join announcements
+		for _, m := range inbox {
+			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+				nd.status = base.StatusDominated
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Halt()
+				return
+			}
+		}
+	case 0: // removal announcements; next iteration
+		for _, m := range inbox {
+			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+				nd.active.Remove(m.From)
+			}
+		}
+		nd.tryJoin(ctx)
+	}
+}

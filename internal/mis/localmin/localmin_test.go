@@ -1,0 +1,107 @@
+package localmin
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/greedy"
+	"repro/internal/rng"
+)
+
+func TestProducesMISOnFamilies(t *testing.T) {
+	r := rng.New(1)
+	cases := map[string]*graph.Graph{
+		"path":     gen.Path(50),
+		"cycle":    gen.Cycle(33),
+		"star":     gen.Star(20),
+		"tree":     gen.RandomTree(200, r.Split(1)),
+		"gnp":      gen.GNP(100, 0.1, r.Split(2)),
+		"isolated": graph.MustNew(6, nil),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			statuses, _, err := Run(g, congest.Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := base.VerifyStatuses(g, statuses); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMatchesSequentialGreedy(t *testing.T) {
+	// Distributed local-min MIS computes exactly the greedy-by-ID MIS:
+	// both are the lexicographically first MIS.
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.GNP(80, 0.1, r.Split(uint64(trial)))
+		statuses, _, err := Run(g, congest.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := greedy.MIS(g)
+		got := base.MISSet(statuses)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("trial %d: node %d greedy=%v localmin=%v", trial, v, want[v], got[v])
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	g := gen.RandomTree(100, rng.New(3))
+	a, _, err := Run(g, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(g, congest.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("seed changed a deterministic algorithm's output")
+		}
+	}
+}
+
+func TestRoundsBoundedByDecreasingPath(t *testing.T) {
+	// Worst case: a path with strictly decreasing IDs from one end —
+	// rounds grow linearly with n, confirming why this algorithm is only
+	// used on small (shattered) components.
+	n := 60
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	g := graph.MustNew(n, edges)
+	_, res, err := Run(g, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < n/4 {
+		t.Fatalf("expected ~linear rounds on adversarial path, got %d", res.Rounds)
+	}
+	if res.Rounds > 2*n+4 {
+		t.Fatalf("rounds %d exceed 2n", res.Rounds)
+	}
+}
+
+func TestSmallComponentsFastInParallel(t *testing.T) {
+	// Many small components are processed simultaneously: rounds track the
+	// largest component, not the whole graph.
+	g := gen.RandomForest(400, 40, rng.New(4))
+	_, res, err := Run(g, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 60 {
+		t.Fatalf("forest of 40 small trees took %d rounds", res.Rounds)
+	}
+}

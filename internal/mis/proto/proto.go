@@ -1,0 +1,97 @@
+// Package proto defines the small message payloads shared by the MIS
+// algorithms in this repository. Every payload reports its size in bits so
+// the CONGEST engine can audit the O(log n) message-size guarantee; sizes
+// are honest upper bounds for an encoding a real implementation would use.
+package proto
+
+// Priority carries one round's random priority. The analysis treats
+// priorities as uniform reals in (0,1); operationally 64 random bits give a
+// collision probability ~2⁻⁶⁴ per pair per round (ties are additionally
+// broken by sender ID at the receiver), and 64 = O(log n) bits for every
+// feasible n. Competitive == false encodes the paper's deterministic
+// r(v) ← 0 for high-degree nodes (ρₖ opt-out).
+type Priority struct {
+	Value       uint64
+	Competitive bool
+}
+
+// Bits reports the payload size: 64 priority bits plus one compete flag.
+func (Priority) Bits() int { return 65 }
+
+// Kind enumerates the one-byte announcements the algorithms exchange.
+type Kind uint8
+
+// Announcement kinds. They start at 1 so the zero value is invalid and a
+// forgotten initialization is caught by tests.
+const (
+	// KindJoined announces "I entered the MIS".
+	KindJoined Kind = iota + 1
+	// KindRemoved announces "I left the competition" (a neighbor joined, or
+	// I was classified bad/deferred); receivers shrink their active sets.
+	KindRemoved
+	// KindMarked is Luby-A/Ghaffari's "I marked myself this round".
+	KindMarked
+	// KindLeader is used by component-gathering to announce a leader claim.
+	KindLeader
+	// KindPropose is a matching proposal (Israeli-Itai).
+	KindPropose
+	// KindAccept accepts a matching proposal.
+	KindAccept
+	// KindMatched announces "I am matched" (receivers drop the sender from
+	// their active sets).
+	KindMatched
+)
+
+// Flag is a one-byte announcement.
+type Flag struct {
+	Kind Kind
+}
+
+// Bits reports the payload size.
+func (Flag) Bits() int { return 8 }
+
+// Degree carries a vertex's current active degree (Algorithm 1 step 2(b)
+// needs neighbors' degrees to count high-degree neighbors).
+type Degree struct {
+	Value int32
+}
+
+// Bits reports the payload size.
+func (Degree) Bits() int { return 32 }
+
+// Desire carries Ghaffari's desire-level p_v as a fixed-point fraction with
+// 30 fractional bits — exact for the algorithm's dyadic values (p is always
+// 2^-k, k ≤ 30).
+type Desire struct {
+	// P30 is the desire level scaled by 2^30.
+	P30 uint32
+}
+
+// Bits reports the payload size.
+func (Desire) Bits() int { return 32 }
+
+// Color carries a Cole-Vishkin color (initially an O(log n)-bit ID,
+// shrinking to 3 values).
+type Color struct {
+	Value uint64
+}
+
+// Bits reports the payload size.
+func (Color) Bits() int { return 64 }
+
+// Level carries an H-partition / forest-decomposition level index.
+type Level struct {
+	Value int32
+}
+
+// Bits reports the payload size.
+func (Level) Bits() int { return 32 }
+
+// ForestEdge tells a neighbor which forest index the sender assigned to
+// the connecting edge in a forest decomposition.
+type ForestEdge struct {
+	Forest int32
+}
+
+// Bits reports the payload size.
+func (ForestEdge) Bits() int { return 32 }

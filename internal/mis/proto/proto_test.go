@@ -1,0 +1,34 @@
+package proto
+
+import "testing"
+
+func TestBitsArePositiveAndSmall(t *testing.T) {
+	// Every payload must report a positive size bounded by a constant
+	// multiple of an O(log n) word — the CONGEST requirement.
+	payloads := []interface{ Bits() int }{
+		Priority{}, Flag{}, Degree{}, Desire{}, Color{}, Level{}, ForestEdge{},
+	}
+	for _, p := range payloads {
+		if b := p.Bits(); b <= 0 || b > 128 {
+			t.Errorf("%T.Bits() = %d", p, b)
+		}
+	}
+}
+
+func TestKindZeroValueInvalid(t *testing.T) {
+	// Kinds start at 1 so the zero value signals a forgotten field.
+	if KindJoined == 0 || KindRemoved == 0 || KindMarked == 0 || KindLeader == 0 {
+		t.Fatal("a Kind constant is zero")
+	}
+}
+
+func TestKindsDistinct(t *testing.T) {
+	kinds := []Kind{KindJoined, KindRemoved, KindMarked, KindLeader}
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %d", k)
+		}
+		seen[k] = true
+	}
+}

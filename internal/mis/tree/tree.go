@@ -1,0 +1,65 @@
+// Package tree exposes the TreeIndependentSet algorithm of Barenboim,
+// Elkin, Pettie and Schneider (FOCS 2012, Section 8 of the journal
+// version) — the algorithm the reproduced paper generalizes. The paper is
+// explicit that BoundedArbIndependentSet "is essentially identical to the
+// TreeIndependentSet algorithm ... except for parameter values (which now
+// depend on the arboricity α)"; accordingly, this package is a documented
+// parameterization of the core implementation at α = 1 with the tree
+// constants:
+//
+//	Θ  = ⌊log₂(Δ / (c·ln²Δ))⌋   (the α¹⁰ factor gone)
+//	Λ  = ⌈p·c'·ln(c''·ln²Δ)⌉    (the α⁸ factor gone: O(log log Δ))
+//	ρₖ = 8·lnΔ·Δ/2ᵏ⁺¹           (unchanged)
+//
+// As with the bounded-arboricity version, the printed constants only
+// activate at asymptotic Δ; PracticalParams scales them the way
+// core.PracticalParams does.
+package tree
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrNotForest rejects non-forest inputs: the tree algorithm's guarantees
+// are for trees — what to do beyond them is the reproduced paper's topic.
+var ErrNotForest = errors.New("tree: input is not a forest")
+
+// Params returns TreeIndependentSet's printed parameters for maximum
+// degree delta and confidence constant p.
+func Params(delta, p int) *core.Params {
+	ln := math.Log(float64(delta))
+	if ln < 1 {
+		ln = 1
+	}
+	theta := int(math.Floor(math.Log2(float64(delta) / (1176 * 16 * ln * ln))))
+	if theta < 0 {
+		theta = 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	lambda := int(math.Ceil(float64(p) * 8 * 33 * math.Log(260*ln*ln)))
+	return core.NewParams(1, delta, p, theta, lambda, func(k int) int {
+		return int(math.Ceil(8 * ln * float64(delta) / math.Pow(2, float64(k+1))))
+	})
+}
+
+// PracticalParams returns laptop-scale tree parameters (the core practical
+// profile at α = 1).
+func PracticalParams(delta int) *core.Params {
+	return core.PracticalParams(1, delta)
+}
+
+// Run executes TreeIndependentSet followed by the standard finishing
+// stages on a forest input, returning the full pipeline outcome.
+func Run(g *graph.Graph, params *core.Params, opts congest.Options) (*core.Outcome, error) {
+	if !g.IsForest() {
+		return nil, ErrNotForest
+	}
+	return core.ArbMIS(g, params, opts)
+}

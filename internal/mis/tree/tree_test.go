@@ -1,0 +1,95 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestRunOnTrees(t *testing.T) {
+	r := rng.New(1)
+	cases := map[string]*graph.Graph{
+		"random":      gen.RandomTree(400, r.Split(1)),
+		"star":        gen.Star(100),
+		"binary":      gen.CompleteBinaryTree(255),
+		"caterpillar": gen.Caterpillar(25, 5),
+		"forest":      gen.RandomForest(300, 10, r.Split(2)),
+		"path":        gen.Path(100),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			out, err := Run(g, PracticalParams(g.MaxDegree()), congest.Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.VerifyMIS(out.MIS); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsNonForest(t *testing.T) {
+	g := gen.Cycle(8)
+	_, err := Run(g, PracticalParams(g.MaxDegree()), congest.Options{Seed: 1})
+	if !errors.Is(err, ErrNotForest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParamsShape(t *testing.T) {
+	// Tree parameters must be strictly cheaper than the α=2 bounded-
+	// arboricity parameters at the same Δ: Θ activates at smaller Δ (no
+	// α¹⁰ term) and Λ has no α⁸ factor.
+	p := Params(1<<26, 1)
+	if p.Alpha != 1 {
+		t.Fatalf("alpha = %d", p.Alpha)
+	}
+	if p.NumScales <= 0 {
+		t.Fatalf("tree Θ = %d at Δ=2^26, expected positive", p.NumScales)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The arboricity version needs Δ/ln²Δ > 1176·16·2¹⁰ to activate; the
+	// tree version activates at Δ/ln²Δ > 1176·16.
+	if big := Params(1<<40, 1); big.NumScales <= p.NumScales {
+		t.Fatal("Θ not increasing in Δ")
+	}
+}
+
+func TestParamsDegenerateSmallDelta(t *testing.T) {
+	p := Params(50, 1)
+	if p.NumScales != 0 {
+		t.Fatalf("Θ = %d at Δ=50", p.NumScales)
+	}
+}
+
+func TestRunWithPaperParamsStillValid(t *testing.T) {
+	g := gen.RandomTree(300, rng.New(4))
+	out, err := Run(g, Params(g.MaxDegree(), 1), congest.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyMIS(out.MIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySeeds(t *testing.T) {
+	g := gen.RandomTree(250, rng.New(6))
+	params := PracticalParams(g.MaxDegree())
+	for seed := uint64(0); seed < 15; seed++ {
+		out, err := Run(g, params, congest.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.VerifyMIS(out.MIS); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

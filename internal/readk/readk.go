@@ -1,0 +1,317 @@
+// Package readk implements the read-k machinery at the heart of the
+// reproduced paper: read-k families of boolean random variables, the
+// Gavinsky-Lovett-Saks-Srinivasan (2015) conjunction and tail inequalities
+// (Theorems 1.1 and 1.2 of the paper), the classical Chernoff/Azuma
+// comparators the paper contrasts them with, Monte-Carlo and exact
+// estimators for validating the bounds, and builders that extract the
+// paper's Event (1)/(2)/(3) dependency structures from real graph
+// orientations (Section 3.1).
+//
+// A read-k family is a collection Y₁..Yₙ of boolean variables, each a
+// function of a subset P_j of independent base variables X₁..X_m, such
+// that every X_i appears in at most k of the P_j. The Y's may be highly
+// dependent on each other — only their reads of the X's are bounded.
+package readk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Family is a read-k family under construction or analysis. Base variables
+// are identified by index 0..m-1 and realized as independent uniform uint64
+// draws; each member variable is a boolean function receiving the values of
+// exactly its declared dependencies, in declaration order.
+type Family struct {
+	m    int
+	deps [][]int
+	fns  []func(vals []uint64) bool
+	mult []int // mult[i] = number of members reading X_i
+}
+
+// NewFamily creates an empty family over m base variables.
+func NewFamily(m int) (*Family, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("readk: need at least one base variable, got %d", m)
+	}
+	return &Family{m: m, mult: make([]int, m)}, nil
+}
+
+// ErrBadDep reports a dependency index outside the base-variable range.
+var ErrBadDep = errors.New("readk: dependency index out of range")
+
+// Add appends a member variable reading the given base variables. The
+// function receives the base values at those indices, in the same order.
+// Duplicate indices within one member are rejected (they would double-count
+// multiplicity).
+func (f *Family) Add(deps []int, fn func(vals []uint64) bool) error {
+	seen := make(map[int]bool, len(deps))
+	for _, d := range deps {
+		if d < 0 || d >= f.m {
+			return fmt.Errorf("%w: %d (m=%d)", ErrBadDep, d, f.m)
+		}
+		if seen[d] {
+			return fmt.Errorf("readk: duplicate dependency %d", d)
+		}
+		seen[d] = true
+	}
+	f.deps = append(f.deps, append([]int(nil), deps...))
+	f.fns = append(f.fns, fn)
+	for _, d := range deps {
+		f.mult[d]++
+	}
+	return nil
+}
+
+// N returns the number of member variables.
+func (f *Family) N() int { return len(f.fns) }
+
+// M returns the number of base variables.
+func (f *Family) M() int { return f.m }
+
+// K returns the family's read parameter: the maximum number of members any
+// single base variable influences. An empty family has K = 0.
+func (f *Family) K() int {
+	k := 0
+	for _, c := range f.mult {
+		if c > k {
+			k = c
+		}
+	}
+	return k
+}
+
+// Eval computes all member values for the given base assignment.
+func (f *Family) Eval(x []uint64) ([]bool, error) {
+	if len(x) != f.m {
+		return nil, fmt.Errorf("readk: assignment has %d values for %d base variables", len(x), f.m)
+	}
+	out := make([]bool, f.N())
+	scratch := make([]uint64, 0, 16)
+	for j, fn := range f.fns {
+		scratch = scratch[:0]
+		for _, d := range f.deps[j] {
+			scratch = append(scratch, x[d])
+		}
+		out[j] = fn(scratch)
+	}
+	return out, nil
+}
+
+// Sample draws a uniform base assignment and evaluates the members.
+func (f *Family) Sample(r *rng.RNG) []bool {
+	x := make([]uint64, f.m)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	out, err := f.Eval(x)
+	if err != nil {
+		// len(x) == f.m by construction; unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// MonteCarlo holds empirical estimates from repeated sampling.
+type MonteCarlo struct {
+	// Trials is the number of samples taken.
+	Trials int
+	// AllOnes is the fraction of samples with every member true
+	// (the conjunction probability of Theorem 1.1).
+	AllOnes float64
+	// Means[j] estimates p_j = Pr[Y_j = 1].
+	Means []float64
+	// SumHist[s] is the fraction of samples whose member sum was s.
+	SumHist []float64
+}
+
+// MeanP returns the average of the member means (the p of Theorem 1.2).
+func (mc *MonteCarlo) MeanP() float64 {
+	var s float64
+	for _, p := range mc.Means {
+		s += p
+	}
+	return s / float64(len(mc.Means))
+}
+
+// TailLE returns the empirical probability that the member sum is <= t.
+func (mc *MonteCarlo) TailLE(t int) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t >= len(mc.SumHist) {
+		return 1
+	}
+	var s float64
+	for i := 0; i <= t; i++ {
+		s += mc.SumHist[i]
+	}
+	return s
+}
+
+// ExpectedSum returns the empirical E[Y] = Σ p_j.
+func (mc *MonteCarlo) ExpectedSum() float64 {
+	var s float64
+	for _, p := range mc.Means {
+		s += p
+	}
+	return s
+}
+
+// Estimate runs trials Monte-Carlo samples.
+func (f *Family) Estimate(r *rng.RNG, trials int) (*MonteCarlo, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("readk: trials must be positive, got %d", trials)
+	}
+	if f.N() == 0 {
+		return nil, errors.New("readk: empty family")
+	}
+	mc := &MonteCarlo{
+		Trials:  trials,
+		Means:   make([]float64, f.N()),
+		SumHist: make([]float64, f.N()+1),
+	}
+	allOnes := 0
+	for t := 0; t < trials; t++ {
+		ys := f.Sample(r)
+		sum := 0
+		for j, y := range ys {
+			if y {
+				mc.Means[j]++
+				sum++
+			}
+		}
+		if sum == f.N() {
+			allOnes++
+		}
+		mc.SumHist[sum]++
+	}
+	for j := range mc.Means {
+		mc.Means[j] /= float64(trials)
+	}
+	for s := range mc.SumHist {
+		mc.SumHist[s] /= float64(trials)
+	}
+	mc.AllOnes = float64(allOnes) / float64(trials)
+	return mc, nil
+}
+
+// ExactBinary enumerates all 2^m assignments with each base variable in
+// {0, 1} and returns exact statistics. It requires member functions that
+// depend only on the low bit of each value, and panics for m > 24 (it is a
+// test oracle). Returns the exact conjunction probability and member means.
+func (f *Family) ExactBinary() (allOnes float64, means []float64) {
+	if f.m > 24 {
+		panic("readk: ExactBinary is an oracle for small m only")
+	}
+	means = make([]float64, f.N())
+	x := make([]uint64, f.m)
+	total := 1 << uint(f.m)
+	all := 0
+	for mask := 0; mask < total; mask++ {
+		for i := range x {
+			x[i] = uint64((mask >> uint(i)) & 1)
+		}
+		ys, err := f.Eval(x)
+		if err != nil {
+			panic(err) // unreachable: x has length f.m
+		}
+		sum := 0
+		for j, y := range ys {
+			if y {
+				means[j]++
+				sum++
+			}
+		}
+		if sum == f.N() {
+			all++
+		}
+	}
+	for j := range means {
+		means[j] /= float64(total)
+	}
+	return float64(all) / float64(total), means
+}
+
+// ConjunctionBound is Theorem 1.1 (Gavinsky et al. Theorem 1.2): for a
+// read-k family with Pr[Y_j = 1] = p for all j,
+//
+//	Pr[Y₁ = ... = Yₙ = 1] ≤ p^(n/k).
+//
+// With independent members the bound would be pⁿ; the read-k structure
+// costs exactly the exponent factor 1/k.
+func ConjunctionBound(p float64, n, k int) float64 {
+	if k < 1 || n < 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return math.Pow(p, float64(n)/float64(k))
+}
+
+// TailForm1 is Theorem 1.2 form (1): for a read-k family with mean p,
+//
+//	Pr[Y ≤ (p-ε)n] ≤ exp(-2ε²n/k).
+func TailForm1(eps float64, n, k int) float64 {
+	if k < 1 || n < 1 || eps <= 0 {
+		return 1
+	}
+	return math.Exp(-2 * eps * eps * float64(n) / float64(k))
+}
+
+// TailForm2 is Theorem 1.2 form (2), the one the paper's analysis uses:
+//
+//	Pr[Y ≤ (1-δ)E[Y]] ≤ exp(-δ²E[Y]/(2k)).
+func TailForm2(delta, expY float64, k int) float64 {
+	if k < 1 || delta <= 0 || expY <= 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta * expY / (2 * float64(k)))
+}
+
+// ChernoffLower is the classical multiplicative Chernoff lower-tail bound
+// for independent indicators: Pr[Y ≤ (1-δ)E[Y]] ≤ exp(-δ²E[Y]/2). It is
+// TailForm2 with k = 1 — the read-k bound degrades by exactly 1/k in the
+// exponent.
+func ChernoffLower(delta, expY float64) float64 {
+	return TailForm2(delta, expY, 1)
+}
+
+// AzumaBound is the Azuma/McDiarmid-style bound one gets by viewing
+// Y = ΣY_j as a k-Lipschitz function of the m independent base variables:
+// Pr[Y ≤ E[Y] - t] ≤ exp(-t²/(2mk²)). Gavinsky et al. note their tail
+// bound is more general; the experiments show it is also much stronger
+// when n ≪ m·k.
+func AzumaBound(t float64, m, k int) float64 {
+	if m < 1 || k < 1 || t <= 0 {
+		return 1
+	}
+	return math.Exp(-t * t / (2 * float64(m) * float64(k) * float64(k)))
+}
+
+// TailForm2ViaForm1 evaluates the lower-tail bound one obtains by feeding
+// δ·E[Y]/n into form (1): with mean p = E[Y]/n,
+//
+//	Pr[Y ≤ (1-δ)E[Y]] = Pr[Y ≤ (p - δp)·n] ≤ exp(-2δ²p²n/k)
+//	                  = exp(-2δ²p·E[Y]/k).
+//
+// The paper notes form (2) "is fairly routine to derive" from form (1)
+// (its reference [13]); this direct substitution is the first step of that
+// derivation and already matches form (2) up to the constant in the
+// exponent: it is stronger than form (2) whenever p ≥ 1/4 and weaker for
+// very sparse means, which is why [13]'s derivation massages the constant.
+// Exported so the experiments can show both curves.
+func TailForm2ViaForm1(delta, expY float64, n, k int) float64 {
+	if n < 1 || k < 1 || delta <= 0 || expY <= 0 {
+		return 1
+	}
+	p := expY / float64(n)
+	return TailForm1(delta*p, n, k)
+}

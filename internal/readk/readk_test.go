@@ -1,0 +1,363 @@
+package readk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// slidingParity builds the canonical read-k family: n members over m base
+// bits, member j reading bits j..j+k-1 (cyclically) and reporting their
+// parity. Every bit is read by exactly k members when n == m.
+func slidingParity(tb testing.TB, m, k int) *Family {
+	if tb != nil {
+		tb.Helper()
+	}
+	fail := func(err error) {
+		if tb != nil {
+			tb.Fatal(err)
+		} else {
+			panic(err)
+		}
+	}
+	f, err := NewFamily(m)
+	if err != nil {
+		fail(err)
+	}
+	for j := 0; j < m; j++ {
+		deps := make([]int, k)
+		for i := 0; i < k; i++ {
+			deps[i] = (j + i) % m
+		}
+		if err := f.Add(deps, func(vals []uint64) bool {
+			var p uint64
+			for _, v := range vals {
+				p ^= v & 1
+			}
+			return p == 1
+		}); err != nil {
+			fail(err)
+		}
+	}
+	return f
+}
+
+func TestFamilyBasics(t *testing.T) {
+	f := slidingParity(t, 10, 3)
+	if f.N() != 10 || f.M() != 10 {
+		t.Fatalf("n=%d m=%d", f.N(), f.M())
+	}
+	if f.K() != 3 {
+		t.Fatalf("K = %d, want 3", f.K())
+	}
+}
+
+func TestNewFamilyRejectsZero(t *testing.T) {
+	if _, err := NewFamily(0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestAddRejectsBadDeps(t *testing.T) {
+	f, _ := NewFamily(3)
+	if err := f.Add([]int{5}, func([]uint64) bool { return true }); err == nil {
+		t.Fatal("out-of-range dep accepted")
+	}
+	if err := f.Add([]int{1, 1}, func([]uint64) bool { return true }); err == nil {
+		t.Fatal("duplicate dep accepted")
+	}
+	if err := f.Add([]int{-1}, func([]uint64) bool { return true }); err == nil {
+		t.Fatal("negative dep accepted")
+	}
+}
+
+func TestEvalPassesOnlyDeclaredDeps(t *testing.T) {
+	f, _ := NewFamily(4)
+	var got []uint64
+	if err := f.Add([]int{2, 0}, func(vals []uint64) bool {
+		got = append([]uint64(nil), vals...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Eval([]uint64{10, 11, 12, 13}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 12 || got[1] != 10 {
+		t.Fatalf("member saw %v", got)
+	}
+}
+
+func TestEvalRejectsWrongLength(t *testing.T) {
+	f := slidingParity(t, 4, 2)
+	if _, err := f.Eval([]uint64{1, 2}); err == nil {
+		t.Fatal("wrong-length assignment accepted")
+	}
+}
+
+func TestKEmptyFamily(t *testing.T) {
+	f, _ := NewFamily(3)
+	if f.K() != 0 {
+		t.Fatalf("empty family K = %d", f.K())
+	}
+}
+
+func TestExactBinaryParity(t *testing.T) {
+	// Each parity member has p = 1/2 exactly.
+	f := slidingParity(t, 8, 3)
+	all, means := f.ExactBinary()
+	for j, p := range means {
+		if p != 0.5 {
+			t.Fatalf("member %d mean %v", j, p)
+		}
+	}
+	// The exact conjunction probability must respect Theorem 1.1.
+	bound := ConjunctionBound(0.5, f.N(), f.K())
+	if all > bound+1e-12 {
+		t.Fatalf("exact conjunction %v exceeds read-k bound %v", all, bound)
+	}
+}
+
+func TestExactBinaryPanicsOnLargeM(t *testing.T) {
+	f, _ := NewFamily(30)
+	_ = f.Add([]int{0}, func(v []uint64) bool { return v[0]&1 == 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.ExactBinary()
+}
+
+func TestEstimateMatchesExact(t *testing.T) {
+	f := slidingParity(t, 10, 2)
+	exactAll, exactMeans := f.ExactBinary()
+	mc, err := f.Estimate(rng.New(1), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.AllOnes-exactAll) > 0.005 {
+		t.Fatalf("MC all-ones %v vs exact %v", mc.AllOnes, exactAll)
+	}
+	for j := range exactMeans {
+		if math.Abs(mc.Means[j]-exactMeans[j]) > 0.01 {
+			t.Fatalf("member %d: MC %v vs exact %v", j, mc.Means[j], exactMeans[j])
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	f := slidingParity(t, 4, 2)
+	if _, err := f.Estimate(rng.New(1), 0); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+	empty, _ := NewFamily(2)
+	if _, err := empty.Estimate(rng.New(1), 10); err == nil {
+		t.Fatal("empty family accepted")
+	}
+}
+
+func TestMonteCarloAccessors(t *testing.T) {
+	f := slidingParity(t, 6, 2)
+	mc, err := f.Estimate(rng.New(2), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.MeanP()-0.5) > 0.02 {
+		t.Fatalf("MeanP = %v", mc.MeanP())
+	}
+	if math.Abs(mc.ExpectedSum()-3) > 0.1 {
+		t.Fatalf("ExpectedSum = %v", mc.ExpectedSum())
+	}
+	if mc.TailLE(-1) != 0 || mc.TailLE(6) != 1 {
+		t.Fatal("TailLE extremes wrong")
+	}
+	// CDF monotone.
+	for s := 0; s < 6; s++ {
+		if mc.TailLE(s) > mc.TailLE(s+1)+1e-12 {
+			t.Fatal("TailLE not monotone")
+		}
+	}
+}
+
+func TestConjunctionBoundProperties(t *testing.T) {
+	// k=1 reduces to independence: p^n.
+	if got, want := ConjunctionBound(0.5, 10, 1), math.Pow(0.5, 10); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("k=1 bound %v, want %v", got, want)
+	}
+	// Larger k weakens the bound.
+	if ConjunctionBound(0.5, 10, 2) <= ConjunctionBound(0.5, 10, 1) {
+		t.Fatal("bound should weaken with k")
+	}
+	// Edges.
+	if ConjunctionBound(0, 5, 2) != 0 || ConjunctionBound(1, 5, 2) != 1 {
+		t.Fatal("p edge cases wrong")
+	}
+	if ConjunctionBound(0.5, 0, 2) != 1 || ConjunctionBound(0.5, 5, 0) != 1 {
+		t.Fatal("degenerate n/k should return trivial bound")
+	}
+}
+
+func TestConjunctionBoundHoldsOnReadKFamilies(t *testing.T) {
+	// The theorem must hold empirically on families engineered to have
+	// high conjunction probability: Y_j = OR of its k bits, p = 1-2^-k.
+	r := rng.New(3)
+	for _, k := range []int{1, 2, 3, 4} {
+		m := 12
+		f, _ := NewFamily(m)
+		for j := 0; j < m; j++ {
+			deps := make([]int, k)
+			for i := 0; i < k; i++ {
+				deps[i] = (j + i) % m
+			}
+			if err := f.Add(deps, func(vals []uint64) bool {
+				for _, v := range vals {
+					if v&1 == 1 {
+						return true
+					}
+				}
+				return false
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exactAll, means := f.ExactBinary()
+		p := means[0]
+		bound := ConjunctionBound(p, f.N(), k)
+		if exactAll > bound+1e-12 {
+			t.Fatalf("k=%d: conjunction %v exceeds bound %v", k, exactAll, bound)
+		}
+		mc, err := f.Estimate(r.Split(uint64(k)), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.AllOnes > bound+0.01 {
+			t.Fatalf("k=%d: MC conjunction %v exceeds bound %v", k, mc.AllOnes, bound)
+		}
+	}
+}
+
+func TestTailForm1Holds(t *testing.T) {
+	// P(Y <= (p-eps)n) <= exp(-2 eps^2 n / k) on the parity family.
+	f := slidingParity(t, 2000, 4)
+	mc, err := f.Estimate(rng.New(4), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.N()
+	p := mc.MeanP()
+	for _, eps := range []float64{0.02, 0.05, 0.1} {
+		threshold := int(math.Floor((p - eps) * float64(n)))
+		emp := mc.TailLE(threshold)
+		bound := TailForm1(eps, n, f.K())
+		if emp > bound+0.01 {
+			t.Fatalf("eps=%v: empirical %v exceeds bound %v", eps, emp, bound)
+		}
+	}
+}
+
+func TestTailForm2Holds(t *testing.T) {
+	f := slidingParity(t, 2000, 4)
+	mc, err := f.Estimate(rng.New(5), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expY := mc.ExpectedSum()
+	for _, delta := range []float64{0.05, 0.1, 0.2} {
+		threshold := int(math.Floor((1 - delta) * expY))
+		emp := mc.TailLE(threshold)
+		bound := TailForm2(delta, expY, f.K())
+		if emp > bound+0.01 {
+			t.Fatalf("delta=%v: empirical %v exceeds bound %v", delta, emp, bound)
+		}
+	}
+}
+
+func TestTailBoundRelationships(t *testing.T) {
+	// Chernoff = form 2 at k=1; read-k bound weakens monotonically in k;
+	// Azuma with m ~ n·k/k... is weaker than form 1 when n ≪ m·k².
+	if ChernoffLower(0.1, 100) != TailForm2(0.1, 100, 1) {
+		t.Fatal("Chernoff != TailForm2(k=1)")
+	}
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		b := TailForm2(0.2, 50, k)
+		if b < prev {
+			t.Fatalf("bound not monotone in k at %d", k)
+		}
+		prev = b
+	}
+	// Degenerate inputs return the trivial bound 1.
+	for _, b := range []float64{
+		TailForm1(0, 10, 2), TailForm1(0.1, 0, 2), TailForm1(0.1, 10, 0),
+		TailForm2(0, 5, 2), TailForm2(0.1, 0, 2), TailForm2(0.1, 5, 0),
+		AzumaBound(0, 5, 2), AzumaBound(1, 0, 2),
+	} {
+		if b != 1 {
+			t.Fatalf("degenerate bound %v != 1", b)
+		}
+	}
+}
+
+func TestReadKBeatsAzumaInTheRelevantRegime(t *testing.T) {
+	// Paper remark: the GLSS tail bound is stronger than what k-Lipschitz
+	// Azuma gives. With n = m members, deviation t = eps*n:
+	// form1: exp(-2 eps² n/k) vs Azuma: exp(-eps² n/(2k²)) — form1 smaller
+	// for all k >= 1.
+	n, k := 1000, 4
+	eps := 0.1
+	form1 := TailForm1(eps, n, k)
+	azuma := AzumaBound(eps*float64(n), n, k)
+	if form1 >= azuma {
+		t.Fatalf("form1 %v not stronger than Azuma %v", form1, azuma)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	f := slidingParity(nil, 100, 4)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Estimate(r, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTailForm2ViaForm1Relationship(t *testing.T) {
+	// Substituting ε = δp into form (1) gives exp(-2δ²p·E/k); form (2) is
+	// exp(-δ²E/2k). The derived bound must be the stronger of the two
+	// exactly when p >= 1/4, and both must hold empirically.
+	n, k := 1000, 4
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		expY := p * float64(n)
+		delta := 0.2
+		derived := TailForm2ViaForm1(delta, expY, n, k)
+		form2 := TailForm2(delta, expY, k)
+		if p > 0.25 && derived >= form2 {
+			t.Fatalf("p=%v: derived %v should beat form2 %v", p, derived, form2)
+		}
+		if p < 0.25 && derived <= form2 {
+			t.Fatalf("p=%v: derived %v should be weaker than form2 %v", p, derived, form2)
+		}
+	}
+	// Degenerate inputs return the trivial bound.
+	if TailForm2ViaForm1(0, 10, 100, 2) != 1 || TailForm2ViaForm1(0.1, 10, 0, 2) != 1 {
+		t.Fatal("degenerate inputs should return 1")
+	}
+}
+
+func TestTailForm2ViaForm1HoldsEmpirically(t *testing.T) {
+	f := slidingParity(t, 1000, 4)
+	mc, err := f.Estimate(rng.New(6), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expY := mc.ExpectedSum()
+	delta := 0.1
+	emp := mc.TailLE(int((1 - delta) * expY))
+	if bound := TailForm2ViaForm1(delta, expY, f.N(), f.K()); emp > bound+0.01 {
+		t.Fatalf("empirical %v exceeds derived bound %v", emp, bound)
+	}
+}

@@ -1,0 +1,142 @@
+package shatter
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/rng"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	g := gen.Path(10)
+	st, err := Analyze(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 0 || st.Components != 0 || st.MaxSize() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAnalyzeComponents(t *testing.T) {
+	// Path 0-1-2-3-4-5; take {0,1, 3, 5}: components {0,1}, {3}, {5}.
+	g := gen.Path(6)
+	st, err := Analyze(g, []int{0, 1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 3 {
+		t.Fatalf("components = %d", st.Components)
+	}
+	if st.MaxSize() != 2 {
+		t.Fatalf("max size = %d", st.MaxSize())
+	}
+	if st.Sizes[0] != 2 || st.Sizes[1] != 1 || st.Sizes[2] != 1 {
+		t.Fatalf("sizes = %v", st.Sizes)
+	}
+}
+
+func TestAnalyzeBadVertices(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := Analyze(g, []int{0, 0}); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+}
+
+func TestLemma37Bound(t *testing.T) {
+	// Monotone in Δ, positive, and huge compared to measured sizes.
+	b1 := Lemma37Bound(4, 1000, 1)
+	b2 := Lemma37Bound(8, 1000, 1)
+	if b1 <= 0 || b2 <= b1 {
+		t.Fatalf("bounds: %v, %v", b1, b2)
+	}
+	if Lemma37Bound(0, 10, 1) <= 0 {
+		t.Fatal("degenerate delta")
+	}
+}
+
+func TestFinishOnFamilies(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		alpha int
+	}{
+		{"tree", gen.RandomTree(200, r.Split(1)), 1},
+		{"grid", gen.Grid(10, 10), 2},
+		{"union2", gen.UnionOfTrees(150, 2, r.Split(2)), 2},
+		{"forest", gen.RandomForest(100, 8, r.Split(3)), 1},
+		{"isolated", graph.MustNew(7, nil), 1},
+		{"empty", graph.MustNew(0, nil), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Finish(c.g, c.alpha, congest.Options{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.g.VerifyMIS(base.MISSet(res.Statuses)); err != nil && c.g.N() > 0 {
+				t.Fatal(err)
+			}
+			if res.TotalRounds() < 0 {
+				t.Fatal("negative rounds")
+			}
+		})
+	}
+}
+
+func TestFinishDeterministic(t *testing.T) {
+	g := gen.UnionOfTrees(120, 2, rng.New(4))
+	a, err := Finish(g, 2, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Finish(g, 2, congest.Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Statuses {
+		if a.Statuses[v] != b.Statuses[v] {
+			t.Fatal("Finish is not deterministic")
+		}
+	}
+}
+
+func TestFinishSweepCostReported(t *testing.T) {
+	g := gen.Grid(8, 8)
+	res, err := Finish(g, 2, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweepRounds <= 0 {
+		t.Fatal("sweep rounds not reported")
+	}
+	maxClasses := 1
+	for i := 0; i < res.Decomposition.NumForests(); i++ {
+		maxClasses *= 3
+	}
+	if res.SweepRounds > 2*maxClasses {
+		t.Fatalf("sweep rounds %d exceed 2*3^k = %d", res.SweepRounds, 2*maxClasses)
+	}
+}
+
+func TestFinishMatchesComponentStructure(t *testing.T) {
+	// On a disconnected forest, Finish processes every component (all
+	// nodes classified) and the per-component MIS sizes are sane.
+	g := gen.RandomForest(240, 12, rng.New(5))
+	res, err := Finish(g, 1, congest.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range res.Statuses {
+		if s != base.StatusInMIS && s != base.StatusDominated {
+			t.Fatalf("node %d unclassified: %v", v, s)
+		}
+	}
+	if err := g.VerifyMIS(base.MISSet(res.Statuses)); err != nil {
+		t.Fatal(err)
+	}
+}
