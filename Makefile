@@ -1,0 +1,25 @@
+# Developer entry points. The repo is plain `go build`-able; these targets
+# just name the workflows CI and PRs rely on.
+
+.PHONY: build test race bench-engine bench
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+# Engine safety net: vet plus race-detector coverage of the CONGEST
+# drivers (the sharded worker pool and the legacy goroutine-per-vertex
+# driver are the only concurrent code in the repo).
+race:
+	go vet ./internal/congest/... && go test -race ./internal/congest/...
+
+# Refresh the seed-pinned driver throughput trajectory consumed by future
+# PRs (rounds/sec and messages/sec per driver at n = 2^14).
+bench-engine:
+	go run ./cmd/bench -engine-bench BENCH_congest.json
+
+# Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
+bench:
+	go test -run '^$$' -bench BenchmarkEngineDrivers -benchmem .

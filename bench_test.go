@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/exp"
@@ -95,20 +96,41 @@ func BenchmarkAlgoArbMIS(b *testing.B) {
 	b.ReportMetric(float64(rounds), "rounds")
 }
 
-func BenchmarkEngineSequentialVsParallel(b *testing.B) {
-	g := UnionOfTrees(1<<11, 2, 7)
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := Metivier(g, Options{Seed: uint64(i)}); err != nil {
-				b.Fatal(err)
-			}
+// benchEngineDriver runs Métivier MIS under one engine driver, reporting
+// ns/round so drivers are comparable even if round counts drift with seed.
+func benchEngineDriver(b *testing.B, g *Graph, opts Options) {
+	b.Helper()
+	var rounds int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i)
+		_, res, err := Metivier(g, opts)
+		if err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.Run("goroutine-per-node", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := Metivier(g, Options{Seed: uint64(i), Parallel: true}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		rounds += int64(res.Rounds)
+	}
+	b.StopTimer()
+	if rounds > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rounds), "ns/round")
+	}
+}
+
+// BenchmarkEngineDrivers compares the three execution strategies on the
+// same workload at the n = 2^14 scale where scheduler overhead separates
+// them: the sharded worker pool must beat the legacy goroutine-per-vertex
+// driver's ns/round (see BENCH_congest.json for the recorded trajectory).
+func BenchmarkEngineDrivers(b *testing.B) {
+	for _, n := range []int{1 << 11, 1 << 14} {
+		g := UnionOfTrees(n, 2, 7)
+		b.Run(fmt.Sprintf("n=%d/sequential", n), func(b *testing.B) {
+			benchEngineDriver(b, g, Options{Driver: DriverSequential})
+		})
+		b.Run(fmt.Sprintf("n=%d/pool", n), func(b *testing.B) {
+			benchEngineDriver(b, g, Options{Driver: DriverPool})
+		})
+		b.Run(fmt.Sprintf("n=%d/goroutine-per-vertex", n), func(b *testing.B) {
+			benchEngineDriver(b, g, Options{Driver: DriverGoroutinePerVertex})
+		})
+	}
 }

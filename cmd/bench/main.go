@@ -2,19 +2,29 @@
 //
 // Usage:
 //
-//	bench [-quick] [-seeds N] [-seed S] [-only E1,E4,A2] [-parallel] [-format csv]
+//	bench [-quick] [-seeds N] [-seed S] [-only E1,E4,A2] [-parallel] [-workers W] [-format csv]
+//	bench -engine-bench BENCH_congest.json [-engine-n N] [-seed S]
 //
 // Each experiment prints its table and notes; the process exits non-zero if
-// any driver fails.
+// any driver fails. With -parallel the runs use the sharded worker-pool
+// engine and a driver-efficiency summary (per-shard busy time, merge time,
+// parallel efficiency) is printed at the end.
+//
+// -engine-bench measures every engine driver (sequential, worker pool,
+// legacy goroutine-per-vertex) on a seed-pinned workload and writes the
+// rounds/sec and messages/sec trajectory as JSON, so perf changes are
+// visible across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/congest"
 	"repro/internal/exp"
 )
 
@@ -27,10 +37,18 @@ func run() int {
 	seeds := flag.Int("seeds", 0, "replications per point (0 = config default)")
 	seed := flag.Uint64("seed", 1, "root seed")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-	parallel := flag.Bool("parallel", false, "use the goroutine-per-node engine")
+	parallel := flag.Bool("parallel", false, "use the sharded worker-pool engine")
+	workers := flag.Int("workers", 0, "worker-pool shard count (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table|csv")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	engineBench := flag.String("engine-bench", "", "write engine driver throughput JSON to this file and exit")
+	engineN := flag.Int("engine-n", 1<<14, "graph size for -engine-bench")
+	engineReps := flag.Int("engine-reps", 3, "runs per driver for -engine-bench (best wall time wins)")
 	flag.Parse()
+
+	if *engineBench != "" {
+		return runEngineBench(*engineBench, *engineN, *seed, *engineReps)
+	}
 
 	cfg := exp.DefaultConfig()
 	if *quick {
@@ -38,8 +56,12 @@ func run() int {
 	}
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
+	cfg.Workers = *workers
 	if *seeds > 0 {
 		cfg.Seeds = *seeds
+	}
+	if *parallel {
+		cfg.PoolStats = &congest.DriverStats{}
 	}
 
 	if *list {
@@ -69,15 +91,51 @@ func run() int {
 			continue
 		}
 		if *format == "csv" {
-			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.Table.CSV())
+			fmt.Printf("# %s: %s\n%s", rep.ID, rep.Title, rep.Table.CSV())
+			// Notes carry derived observations (compliance ratios, fit
+			// exponents); emit them as comment lines so machine-readable
+			// runs keep them.
+			for _, note := range rep.Notes {
+				fmt.Printf("# note: %s\n", note)
+			}
+			fmt.Println()
 		} else {
 			fmt.Println(rep.String())
 			fmt.Printf("(%s completed in %v)\n\n", d.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if cfg.PoolStats != nil && cfg.PoolStats.Rounds > 0 {
+		fmt.Println(cfg.PoolStats.String())
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
 		return 1
 	}
+	return 0
+}
+
+// runEngineBench measures all drivers and writes BENCH_congest.json.
+func runEngineBench(path string, n int, seed uint64, reps int) int {
+	report, err := exp.RunEngineBench(n, seed, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
+		return 1
+	}
+	for _, d := range report.Drivers {
+		fmt.Printf("%-22s n=%d rounds=%d wall=%v rounds/s=%.0f msgs/s=%.0f\n",
+			d.Driver, report.N, d.Rounds, time.Duration(d.WallNS).Round(time.Microsecond),
+			d.RoundsPerSec, d.MessagesPerSec)
+	}
+	fmt.Printf("wrote %s\n", path)
 	return 0
 }

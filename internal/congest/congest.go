@@ -3,25 +3,33 @@
 // messages between neighbors whose size the engine meters (the CONGEST
 // model allows O(log n) bits per edge per round).
 //
-// Two interchangeable drivers execute a program:
+// Three interchangeable drivers execute a program:
 //
-//   - the sequential driver sweeps vertices in ID order each round (fast;
-//     used for large experiment sweeps), and
-//   - the goroutine driver runs one goroutine per vertex with a barrier
-//     between rounds (the "goroutines map naturally to nodes" execution
-//     the repository showcases).
+//   - the sequential driver sweeps vertices in ID order each round,
+//   - the sharded worker-pool driver partitions vertices into contiguous
+//     shards, one long-lived worker goroutine per shard (default: the
+//     pool driver behind Options.Parallel), and
+//   - the legacy goroutine-per-vertex driver, retained only as a
+//     benchmark baseline (Options.Driver = DriverGoroutinePerVertex).
 //
-// Both drivers produce bit-identical executions for the same seed: each
-// node owns a private RNG stream split from the run seed by vertex ID, and
-// inboxes are delivered sorted by sender, so scheduling order cannot leak
-// into algorithm behaviour.
+// All drivers produce bit-identical executions for the same seed. Three
+// invariants make scheduling order invisible to programs:
+//
+//  1. each node owns a private RNG stream split from the run seed by
+//     vertex ID (splitting is a pure function, so creation order is
+//     irrelevant);
+//  2. every driver materializes outgoing messages in ascending sender-ID
+//     order — within a shard nodes are swept in ID order, and shards
+//     cover contiguous ID ranges merged in shard order — so inboxes are
+//     sorted by sender without any per-round sort; and
+//  3. fault-injection draws happen on the coordinator during delivery, in
+//     that same global sender order, from a dedicated fault stream.
 package congest
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -58,7 +66,7 @@ type Context struct {
 	rng       *rng.RNG
 	round     int
 	halted    bool
-	outbox    []addressed
+	shard     *shard
 	runner    *Runner
 	err       error
 }
@@ -110,13 +118,17 @@ func (c *Context) Broadcast(p Payload) {
 	}
 }
 
+// enqueue appends to the owning shard's outbox. Only the worker that owns
+// the shard runs this node, so the append is race-free, and because nodes
+// within a shard are swept in ID order the shard outbox stays sorted by
+// sender with per-sender append order preserved.
 func (c *Context) enqueue(to int, p Payload) {
 	if c.runner.opts.MessageBitLimit > 0 && p.Bits() > c.runner.opts.MessageBitLimit {
 		c.err = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d",
 			c.id, p.Bits(), c.runner.opts.MessageBitLimit)
 		return
 	}
-	c.outbox = append(c.outbox, addressed{to: to, msg: Message{From: c.id, Payload: p}})
+	c.shard.outbox = append(c.shard.outbox, addressed{to: to, msg: Message{From: c.id, Payload: p}})
 }
 
 // Halt marks this node finished. Messages queued in the same call are still
@@ -128,6 +140,39 @@ func (c *Context) isNeighbor(w int) bool {
 	return i < len(c.neighbors) && c.neighbors[i] == w
 }
 
+// DriverKind selects the execution strategy for a run.
+type DriverKind int
+
+const (
+	// DriverAuto picks the sequential driver, or the worker pool when
+	// Options.Parallel is set. This is the zero value.
+	DriverAuto DriverKind = iota
+	// DriverSequential sweeps vertices in ID order on one goroutine.
+	DriverSequential
+	// DriverPool is the sharded worker-pool driver: GOMAXPROCS workers
+	// (override with Options.Workers) each own a contiguous vertex shard.
+	DriverPool
+	// DriverGoroutinePerVertex is the legacy driver: one long-lived
+	// goroutine and a channel round-trip per vertex per round. It exists
+	// as a baseline for BENCH_congest.json and the engine benchmarks;
+	// prefer DriverPool for real runs.
+	DriverGoroutinePerVertex
+)
+
+// String names the driver for reports and benchmark output.
+func (k DriverKind) String() string {
+	switch k {
+	case DriverSequential:
+		return "sequential"
+	case DriverPool:
+		return "pool"
+	case DriverGoroutinePerVertex:
+		return "goroutine-per-vertex"
+	default:
+		return "auto"
+	}
+}
+
 // Options configures a run.
 type Options struct {
 	// Seed is the root seed; node v's stream is Split(v) of it.
@@ -135,8 +180,15 @@ type Options struct {
 	// MaxRounds aborts the run if the program has not halted by then.
 	// Zero means the DefaultMaxRounds safety net.
 	MaxRounds int
-	// Parallel selects the goroutine-per-node driver.
+	// Parallel selects the sharded worker-pool driver (when Driver is
+	// DriverAuto).
 	Parallel bool
+	// Driver, when not DriverAuto, selects the execution strategy
+	// explicitly and takes precedence over Parallel.
+	Driver DriverKind
+	// Workers is the worker/shard count for the pool driver. Zero or
+	// negative means GOMAXPROCS; the count is clamped to the vertex count.
+	Workers int
 	// MessageBitLimit, when positive, fails the run if any single message
 	// exceeds that many bits (CONGEST compliance enforcement).
 	MessageBitLimit int
@@ -150,6 +202,23 @@ type Options struct {
 	// number of messages sent during it. Round 0 reports Init. It runs on
 	// the coordinator (never concurrently) and must not retain the engine.
 	Observer func(round, live int, sent int64)
+	// PoolObserver, when non-nil, receives per-round driver-efficiency
+	// metrics (per-shard busy time, merge time, live-node histogram) from
+	// the pool driver. It runs on the coordinator; the metric's slices are
+	// reused between rounds and must not be retained. The sequential and
+	// legacy drivers never call it.
+	PoolObserver func(m PoolRoundMetrics)
+}
+
+// driverKind resolves the configured driver.
+func (o Options) driverKind() DriverKind {
+	if o.Driver != DriverAuto {
+		return o.Driver
+	}
+	if o.Parallel {
+		return DriverPool
+	}
+	return DriverSequential
 }
 
 // DefaultMaxRounds bounds runaway programs. It is generous: every algorithm
@@ -159,8 +228,10 @@ const DefaultMaxRounds = 1 << 20
 
 // Result summarizes a completed run.
 type Result struct {
-	// Rounds is the number of communication rounds executed (Init is round 0
-	// and not counted; a program that halts every node in Init reports 0).
+	// Rounds is the number of communication rounds that ran to completion
+	// (Init is round 0 and not counted; a program that halts every node in
+	// Init reports 0). A round aborted mid-flight — by a model violation
+	// such as a send to a non-neighbor — is not counted.
 	Rounds int
 	// Messages is the total number of messages delivered.
 	Messages int64
@@ -208,51 +279,111 @@ func (r *Runner) Run() (Result, error) {
 		return Result{}, errors.New("congest: Runner is single-use; construct a new one per run")
 	}
 	r.ran = true
-	if r.opts.Parallel {
-		return r.runParallel()
+	switch r.opts.driverKind() {
+	case DriverPool:
+		return r.runPool()
+	case DriverGoroutinePerVertex:
+		return r.runGoroutinePerVertex()
+	default:
+		return r.runSequential()
 	}
-	return r.runSequential()
+}
+
+// shard is a contiguous vertex range owned by one worker. Its outbox
+// accumulates the messages its nodes send during a sweep, in (sender ID,
+// send call) order; its live list holds the not-yet-halted vertex IDs in
+// ascending order. Only the owning worker touches a shard during a sweep;
+// the coordinator reads and resets it between sweeps.
+type shard struct {
+	live   []int
+	outbox []addressed
+	busy   int64 // sweep duration in nanoseconds, when timing is on
 }
 
 // execState is the driver-independent bookkeeping for a run.
 type execState struct {
 	ctxs     []*Context
 	inboxes  [][]Message
+	shards   []*shard
 	live     int
 	res      Result
 	faults   *rng.RNG
 	observed int64 // messages already reported to the observer
 }
 
-func (r *Runner) newExecState() *execState {
+// newExecState prepares contexts and shards. Shard boundaries split the
+// vertex range into numShards near-equal contiguous pieces.
+func (r *Runner) newExecState(numShards int) *execState {
 	root := rng.New(r.opts.Seed)
 	n := r.g.N()
+	if numShards > n {
+		numShards = n
+	}
+	if numShards < 1 {
+		numShards = 1
+	}
 	st := &execState{
 		ctxs:    make([]*Context, n),
 		inboxes: make([][]Message, n),
+		shards:  make([]*shard, numShards),
 		live:    n,
 	}
 	if r.opts.DropProb > 0 {
 		st.faults = root.Split(^uint64(0))
 	}
-	for v := 0; v < n; v++ {
-		st.ctxs[v] = &Context{
-			id:        v,
-			n:         n,
-			neighbors: r.g.Neighbors(v),
-			rng:       root.Split(uint64(v)),
-			runner:    r,
+	for s := range st.shards {
+		lo, hi := s*n/numShards, (s+1)*n/numShards
+		sh := &shard{live: make([]int, 0, hi-lo)}
+		for v := lo; v < hi; v++ {
+			sh.live = append(sh.live, v)
+			st.ctxs[v] = &Context{
+				id:        v,
+				n:         n,
+				neighbors: r.g.Neighbors(v),
+				rng:       root.Split(uint64(v)),
+				shard:     sh,
+				runner:    r,
+			}
 		}
+		st.shards[s] = sh
 	}
 	return st
 }
 
-// deliver moves every context's outbox into the next round's inboxes,
-// applying fault injection and accounting. It returns the first model
-// violation recorded by any context.
-func (r *Runner) deliver(st *execState) error {
-	for v := range st.ctxs {
+// sweepShard runs one round for every live node of a shard, in ID order,
+// and compacts the live list in place. Round 0 is Init.
+func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
+	live := sh.live[:0]
+	for _, v := range sh.live {
 		ctx := st.ctxs[v]
+		ctx.round = round
+		if round == 0 {
+			r.nodes[v].Init(ctx)
+		} else {
+			r.nodes[v].Round(ctx, st.inboxes[v])
+		}
+		if !ctx.halted {
+			live = append(live, v)
+		}
+	}
+	sh.live = live
+}
+
+// deliver merges every shard's outbox into the next round's inboxes,
+// applying fault injection and accounting. It returns the first model
+// violation recorded by any context (in vertex-ID order, so the reported
+// error does not depend on the driver).
+//
+// The merge is the zero-copy replacement for the old per-inbox
+// sort.SliceStable: shards cover contiguous ascending ID ranges and each
+// shard outbox is already in ascending sender order, so appending shard
+// outboxes in shard order delivers every inbox sorted by sender — message
+// values move straight from shard outboxes into inboxes, with no
+// intermediate buffer and no sort. Fault draws happen in that same global
+// sender order, so the fault stream consumption is identical across
+// drivers.
+func (r *Runner) deliver(st *execState) error {
+	for _, ctx := range st.ctxs {
 		if ctx.err != nil {
 			return ctx.err
 		}
@@ -260,10 +391,8 @@ func (r *Runner) deliver(st *execState) error {
 	for v := range st.inboxes {
 		st.inboxes[v] = st.inboxes[v][:0]
 	}
-	// Deterministic fault decisions: iterate contexts in ID order.
-	for v := range st.ctxs {
-		ctx := st.ctxs[v]
-		for _, a := range ctx.outbox {
+	for _, sh := range st.shards {
+		for _, a := range sh.outbox {
 			if st.faults != nil && st.faults.Bool(r.opts.DropProb) {
 				st.res.Dropped++
 				continue
@@ -276,57 +405,18 @@ func (r *Runner) deliver(st *execState) error {
 				st.res.MaxMessageBits = bits
 			}
 		}
-		ctx.outbox = ctx.outbox[:0]
-	}
-	// Sorted inboxes make delivery order independent of the driver.
-	for v := range st.inboxes {
-		inbox := st.inboxes[v]
-		sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+		sh.outbox = sh.outbox[:0]
 	}
 	return nil
 }
 
-// countHalts updates the live-node count after a sweep.
-func (st *execState) countHalts() {
+// refreshLive recomputes the live-node count from the shard live lists.
+func (st *execState) refreshLive() {
 	live := 0
-	for _, ctx := range st.ctxs {
-		if !ctx.halted {
-			live++
-		}
+	for _, sh := range st.shards {
+		live += len(sh.live)
 	}
 	st.live = live
-}
-
-func (r *Runner) runSequential() (Result, error) {
-	st := r.newExecState()
-	for v, node := range r.nodes {
-		node.Init(st.ctxs[v])
-	}
-	if err := r.deliver(st); err != nil {
-		return st.res, err
-	}
-	st.countHalts()
-	r.observe(st, 0)
-	for round := 1; st.live > 0; round++ {
-		if round > r.opts.MaxRounds {
-			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
-		}
-		st.res.Rounds = round
-		for v, node := range r.nodes {
-			ctx := st.ctxs[v]
-			if ctx.halted {
-				continue
-			}
-			ctx.round = round
-			node.Round(ctx, st.inboxes[v])
-		}
-		if err := r.deliver(st); err != nil {
-			return st.res, err
-		}
-		st.countHalts()
-		r.observe(st, round)
-	}
-	return st.res, nil
 }
 
 // observe reports one completed round to the configured observer, deriving
@@ -340,78 +430,47 @@ func (r *Runner) observe(st *execState, round int) {
 	r.opts.Observer(round, st.live, sent)
 }
 
-// runParallel runs one long-lived goroutine per vertex with a channel
-// barrier per round. The execution is identical to the sequential driver
-// because nodes only touch their own context and RNG stream, inboxes are
-// pre-sorted by sender, and delivery happens on the coordinator between
-// rounds.
-func (r *Runner) runParallel() (Result, error) {
-	st := r.newExecState()
-	n := r.g.N()
-	type work struct {
-		round int
-		inbox []Message
-	}
-	starts := make([]chan work, n)
-	done := make(chan int, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		starts[v] = make(chan work, 1)
-		go func(v int) {
-			defer wg.Done()
-			node, ctx := r.nodes[v], st.ctxs[v]
-			for w := range starts[v] {
-				ctx.round = w.round
-				if w.round == 0 {
-					node.Init(ctx)
-				} else {
-					node.Round(ctx, w.inbox)
-				}
-				done <- v
-			}
-		}(v)
-	}
-	defer func() {
-		for v := range starts {
-			close(starts[v])
-		}
-		wg.Wait()
-	}()
-
-	// runRound dispatches one lock-step round to every live node and waits
-	// for all of them — the synchronous-model barrier.
-	runRound := func(round int) {
-		dispatched := 0
-		for v := 0; v < n; v++ {
-			if round > 0 && st.ctxs[v].halted {
-				continue
-			}
-			starts[v] <- work{round: round, inbox: st.inboxes[v]}
-			dispatched++
-		}
-		for i := 0; i < dispatched; i++ {
-			<-done
-		}
-	}
-
-	runRound(0)
+// runLoop is the coordinator shared by every driver: sweep round 0 (Init),
+// then rounds 1, 2, ... until every node has halted. sweep(round) must run
+// every live node once; afterRound, when non-nil, runs after each
+// successfully delivered round (the pool driver emits metrics there).
+//
+// Result.Rounds is committed only after a round's delivery succeeds, so a
+// run aborted by a mid-round model violation reports the last *completed*
+// round, not the one that failed.
+func (r *Runner) runLoop(st *execState, sweep func(round int), afterRound func(round int)) (Result, error) {
+	sweep(0)
 	if err := r.deliver(st); err != nil {
 		return st.res, err
 	}
-	st.countHalts()
+	st.refreshLive()
 	r.observe(st, 0)
+	if afterRound != nil {
+		afterRound(0)
+	}
 	for round := 1; st.live > 0; round++ {
 		if round > r.opts.MaxRounds {
 			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
 		}
-		st.res.Rounds = round
-		runRound(round)
+		sweep(round)
 		if err := r.deliver(st); err != nil {
 			return st.res, err
 		}
-		st.countHalts()
+		st.res.Rounds = round
+		st.refreshLive()
 		r.observe(st, round)
+		if afterRound != nil {
+			afterRound(round)
+		}
 	}
 	return st.res, nil
+}
+
+func (r *Runner) runSequential() (Result, error) {
+	st := r.newExecState(1)
+	return r.runLoop(st, func(round int) {
+		for _, sh := range st.shards {
+			r.sweepShard(st, sh, round)
+		}
+	}, nil)
 }

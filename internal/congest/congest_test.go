@@ -392,6 +392,185 @@ func TestMessagesSentBeforeHaltAreDelivered(t *testing.T) {
 	}
 }
 
+// allDrivers enumerates one Options per execution strategy, including
+// pool shapes that exercise 1, several, and n shards.
+func allDrivers(base Options) map[string]Options {
+	out := map[string]Options{}
+	for name, set := range map[string]func(*Options){
+		"sequential":           func(o *Options) { o.Driver = DriverSequential },
+		"pool-1":               func(o *Options) { o.Driver = DriverPool; o.Workers = 1 },
+		"pool-3":               func(o *Options) { o.Driver = DriverPool; o.Workers = 3 },
+		"pool-wide":            func(o *Options) { o.Driver = DriverPool; o.Workers = 1 << 20 },
+		"goroutine-per-vertex": func(o *Options) { o.Driver = DriverGoroutinePerVertex },
+	} {
+		o := base
+		set(&o)
+		out[name] = o
+	}
+	return out
+}
+
+// strangerAtRound3 behaves like a well-formed broadcaster until round 3,
+// when node 0 sends to a non-neighbor and poisons the run.
+type strangerAtRound3 struct{}
+
+func (strangerAtRound3) Init(ctx *Context) { ctx.Broadcast(bitPayload{size: 4}) }
+
+func (strangerAtRound3) Round(ctx *Context, _ []Message) {
+	if ctx.Round() == 3 && ctx.ID() == 0 {
+		ctx.Send(2, bitPayload{size: 4}) // 2 is not a neighbor of 0 in the path 0-1-2
+		return
+	}
+	ctx.Broadcast(bitPayload{size: 4})
+}
+
+// TestAbortedRoundNotCounted pins the Result.Rounds fix: a run aborted by
+// a model violation mid-round must report the last *completed* round (2),
+// not the round that failed (3).
+func TestAbortedRoundNotCounted(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	for name, opts := range allDrivers(Options{Seed: 1, MaxRounds: 10}) {
+		r := NewRunner(g, func(int) Node { return strangerAtRound3{} }, opts)
+		res, err := r.Run()
+		if err == nil {
+			t.Fatalf("%s: non-neighbor send not detected", name)
+		}
+		if res.Rounds != 2 {
+			t.Fatalf("%s: aborted run reports Rounds=%d, want 2 completed rounds", name, res.Rounds)
+		}
+	}
+}
+
+// TestAllDriversBitIdentical sweeps every driver shape over the same
+// program and seed — with and without fault injection — and requires
+// identical Result counters and identical per-node observations.
+func TestAllDriversBitIdentical(t *testing.T) {
+	g := graph.MustNew(10, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+		{U: 5, V: 6}, {U: 6, V: 7}, {U: 7, V: 8}, {U: 8, V: 9}, {U: 9, V: 0},
+		{U: 0, V: 5}, {U: 2, V: 7},
+	})
+	for _, drop := range []float64{0, 0.3} {
+		base := Options{Seed: 42, DropProb: drop}
+		var refName string
+		var ref Result
+		var refRecv []int
+		for name, opts := range allDrivers(base) {
+			r := NewRunner(g, func(int) Node { return &pingCounter{rounds: 6} }, opts)
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("drop=%v %s: %v", drop, name, err)
+			}
+			recv := make([]int, g.N())
+			for v := range recv {
+				recv[v] = r.Node(v).(*pingCounter).received
+			}
+			if refName == "" {
+				refName, ref, refRecv = name, res, recv
+				continue
+			}
+			if res != ref {
+				t.Fatalf("drop=%v: %s result %+v != %s result %+v", drop, name, res, refName, ref)
+			}
+			for v := range recv {
+				if recv[v] != refRecv[v] {
+					t.Fatalf("drop=%v: node %d received %d under %s, %d under %s",
+						drop, v, recv[v], name, refRecv[v], refName)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolObserverMetrics exercises the per-round driver-efficiency hook:
+// one metric per round (Init included), a live histogram matching the
+// shard count, and a coherent DriverStats aggregate.
+func TestPoolObserverMetrics(t *testing.T) {
+	g := graph.MustNew(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7},
+	})
+	var agg DriverStats
+	rounds := 0
+	lastLive := -1
+	r := NewRunner(g, func(int) Node { return &pingCounter{rounds: 4} }, Options{
+		Seed:    1,
+		Driver:  DriverPool,
+		Workers: 2,
+		PoolObserver: func(m PoolRoundMetrics) {
+			if m.Round != rounds {
+				t.Fatalf("metrics round %d, want %d", m.Round, rounds)
+			}
+			if len(m.Live) != 2 || len(m.Busy) != 2 {
+				t.Fatalf("metrics sized for %d/%d shards, want 2", len(m.Live), len(m.Busy))
+			}
+			lastLive = m.Live[0] + m.Live[1]
+			rounds++
+			agg.Observe(m)
+		},
+	})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Rounds+1 {
+		t.Fatalf("observed %d metric rounds for %d engine rounds", rounds, res.Rounds)
+	}
+	if lastLive != 0 {
+		t.Fatalf("final live histogram sums to %d, want 0", lastLive)
+	}
+	if agg.Rounds != rounds || agg.Workers != 2 {
+		t.Fatalf("aggregate %+v inconsistent with %d rounds / 2 workers", agg, rounds)
+	}
+	if agg.Busy < agg.Critical || agg.Critical <= 0 {
+		t.Fatalf("busy %v must cover critical path %v > 0", agg.Busy, agg.Critical)
+	}
+	if e := agg.Efficiency(); e <= 0 || e > 1 {
+		t.Fatalf("efficiency %v outside (0, 1]", e)
+	}
+	if agg.String() == "" || (&DriverStats{}).String() == "" {
+		t.Fatal("DriverStats.String must render")
+	}
+}
+
+// TestPoolShardingShapes runs the pool across degenerate worker counts.
+func TestPoolShardingShapes(t *testing.T) {
+	g := graph.MustNew(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	for _, workers := range []int{-1, 0, 1, 2, 5, 100} {
+		r := NewRunner(g, func(int) Node { return &pingCounter{rounds: 3} }, Options{
+			Seed: 2, Driver: DriverPool, Workers: workers,
+		})
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Rounds != 3 {
+			t.Fatalf("workers=%d: rounds = %d", workers, res.Rounds)
+		}
+	}
+	empty := graph.MustNew(0, nil)
+	for name, opts := range allDrivers(Options{Seed: 1}) {
+		r := NewRunner(empty, haltFactory, opts)
+		if res, err := r.Run(); err != nil || res.Rounds != 0 {
+			t.Fatalf("%s on empty graph: %+v, %v", name, res, err)
+		}
+	}
+}
+
+func TestDriverKindString(t *testing.T) {
+	want := map[DriverKind]string{
+		DriverAuto:               "auto",
+		DriverSequential:         "sequential",
+		DriverPool:               "pool",
+		DriverGoroutinePerVertex: "goroutine-per-vertex",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
 func TestRunnerIsSingleUse(t *testing.T) {
 	g := graph.MustNew(2, []graph.Edge{{U: 0, V: 1}})
 	r := NewRunner(g, haltFactory, Options{Seed: 1})

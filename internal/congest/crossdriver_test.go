@@ -1,0 +1,207 @@
+// Cross-driver determinism suite: every MIS program in internal/mis/...
+// must produce bit-identical runs — same Result counters, same per-node
+// outputs — under the sequential driver, the sharded worker pool (at
+// several shard counts), and the legacy goroutine-per-vertex driver,
+// with and without fault injection. This is the engine's load-bearing
+// guarantee: experiments run on whichever driver is fastest and stay
+// reproducible.
+package congest_test
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/colevishkin"
+	"repro/internal/mis/degreduce"
+	"repro/internal/mis/ghaffari"
+	"repro/internal/mis/localmin"
+	"repro/internal/mis/luby"
+	"repro/internal/mis/metivier"
+	"repro/internal/mis/tree"
+	"repro/internal/rng"
+)
+
+// driverMatrix is every execution strategy a program must agree across.
+var driverMatrix = []struct {
+	name string
+	set  func(*congest.Options)
+}{
+	{"sequential", func(o *congest.Options) { o.Driver = congest.DriverSequential }},
+	{"pool-1", func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 1 }},
+	{"pool-4", func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 4 }},
+	{"goroutine-per-vertex", func(o *congest.Options) { o.Driver = congest.DriverGoroutinePerVertex }},
+}
+
+// statusProgram is a status-returning MIS (or MIS-adjacent) program.
+type statusProgram struct {
+	name string
+	run  func(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error)
+}
+
+// bfsParents builds the rooted-forest parent map Cole-Vishkin needs.
+func bfsParents(g *graph.Graph) []int {
+	parent := make([]int, g.N())
+	for v := range parent {
+		parent[v] = -2
+	}
+	for s := 0; s < g.N(); s++ {
+		if parent[s] != -2 {
+			continue
+		}
+		parent[s] = -1
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if parent[w] == -2 {
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return parent
+}
+
+func statusPrograms() []statusProgram {
+	return []statusProgram{
+		{"metivier", metivier.Run},
+		{"lubyA", luby.RunA},
+		{"lubyB", luby.RunB},
+		{"ghaffari", ghaffari.Run},
+		{"localmin", localmin.Run},
+		{"degreduce", func(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error) {
+			return degreduce.Run(g, 4, opts)
+		}},
+		{"colevishkin", func(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error) {
+			return colevishkin.Run(g, bfsParents(g), opts)
+		}},
+	}
+}
+
+// runMatrix executes one program under every driver and fails the test on
+// the first divergence in error, Result, or statuses.
+func runMatrix(t *testing.T, label string, g *graph.Graph, baseOpts congest.Options,
+	run func(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error)) {
+	t.Helper()
+	var refName string
+	var refSt []base.Status
+	var refRes congest.Result
+	var refErr error
+	for _, d := range driverMatrix {
+		opts := baseOpts
+		d.set(&opts)
+		st, res, err := run(g, opts)
+		if refName == "" {
+			refName, refSt, refRes, refErr = d.name, st, res, err
+			continue
+		}
+		if (err == nil) != (refErr == nil) || (err != nil && err.Error() != refErr.Error()) {
+			t.Fatalf("%s: %s err %v, %s err %v", label, d.name, err, refName, refErr)
+		}
+		if res != refRes {
+			t.Fatalf("%s: %s Result %+v != %s Result %+v", label, d.name, res, refName, refRes)
+		}
+		for v := range st {
+			if st[v] != refSt[v] {
+				t.Fatalf("%s: node %d status %v under %s, %v under %s",
+					label, v, st[v], d.name, refSt[v], refName)
+			}
+		}
+	}
+}
+
+// TestCrossDriverAllPrograms sweeps every status-returning MIS program
+// across the full driver matrix on a moderate bounded-arboricity graph,
+// clean and with fault injection.
+func TestCrossDriverAllPrograms(t *testing.T) {
+	n := 300
+	forest := gen.RandomTree(n, rng.New(11))
+	union := gen.UnionOfTrees(n, 2, rng.New(12))
+	for _, prog := range statusPrograms() {
+		g := union
+		if prog.name == "colevishkin" {
+			g = forest // Cole-Vishkin is a forest algorithm
+		}
+		runMatrix(t, prog.name, g, congest.Options{Seed: 77}, prog.run)
+		if prog.name != "colevishkin" && prog.name != "localmin" {
+			// Randomized programs must also agree under message drops,
+			// where a stalled run (ErrMaxRounds) is acceptable as long as
+			// every driver stalls identically.
+			runMatrix(t, prog.name+"/drop", g, congest.Options{Seed: 77, DropProb: 0.05, MaxRounds: 500}, prog.run)
+		}
+	}
+}
+
+// TestCrossDriverGoldenLarge is the n = 2^12 golden check from the issue:
+// sequential vs the worker pool must produce identical Result (Rounds,
+// Messages, TotalBits, Dropped) and identical MIS output for metivier,
+// luby, ghaffari, and the tree algorithm, including a DropProb > 0 case.
+func TestCrossDriverGoldenLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large cross-driver sweep skipped in -short mode")
+	}
+	n := 1 << 12
+	g := gen.UnionOfTrees(n, 2, rng.New(5))
+	pool := func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 4 }
+
+	progs := []statusProgram{
+		{"metivier", metivier.Run},
+		{"lubyA", luby.RunA},
+		{"lubyB", luby.RunB},
+		{"ghaffari", ghaffari.Run},
+	}
+	for _, prog := range progs {
+		for _, drop := range []float64{0, 0.02} {
+			seqOpts := congest.Options{Seed: 9, DropProb: drop, MaxRounds: 2000}
+			poolOpts := seqOpts
+			pool(&poolOpts)
+			seqSt, seqRes, seqErr := prog.run(g, seqOpts)
+			poolSt, poolRes, poolErr := prog.run(g, poolOpts)
+			if (seqErr == nil) != (poolErr == nil) {
+				t.Fatalf("%s drop=%v: sequential err %v, pool err %v", prog.name, drop, seqErr, poolErr)
+			}
+			if seqRes != poolRes {
+				t.Fatalf("%s drop=%v: sequential %+v != pool %+v", prog.name, drop, seqRes, poolRes)
+			}
+			for v := range seqSt {
+				if seqSt[v] != poolSt[v] {
+					t.Fatalf("%s drop=%v: node %d differs across drivers", prog.name, drop, v)
+				}
+			}
+			if drop == 0 && seqErr == nil {
+				if err := base.VerifyStatuses(g, seqSt); err != nil {
+					t.Fatalf("%s: invalid MIS: %v", prog.name, err)
+				}
+			}
+		}
+	}
+
+	// The tree algorithm (ArbMIS pipeline at α = 1) on a forest input.
+	f := gen.RandomTree(n, rng.New(6))
+	params := tree.PracticalParams(f.MaxDegree())
+	seqOut, err := tree.Run(f, params, congest.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolOut, err := tree.Run(f, params, congest.Options{Seed: 9, Driver: congest.DriverPool, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqOut.TotalRounds() != poolOut.TotalRounds() ||
+		seqOut.TotalMessages() != poolOut.TotalMessages() ||
+		seqOut.MaxMessageBits() != poolOut.MaxMessageBits() {
+		t.Fatalf("tree: counters differ: seq rounds=%d msgs=%d bits=%d, pool rounds=%d msgs=%d bits=%d",
+			seqOut.TotalRounds(), seqOut.TotalMessages(), seqOut.MaxMessageBits(),
+			poolOut.TotalRounds(), poolOut.TotalMessages(), poolOut.MaxMessageBits())
+	}
+	for v := range seqOut.MIS {
+		if seqOut.MIS[v] != poolOut.MIS[v] {
+			t.Fatalf("tree: node %d MIS membership differs across drivers", v)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PoolRoundMetrics is one round of driver-efficiency telemetry from the
+// sharded worker-pool driver, as delivered to Options.PoolObserver.
+// The slices are indexed by shard and reused between rounds: observers
+// must copy anything they keep.
+type PoolRoundMetrics struct {
+	// Round is the round number (0 = Init).
+	Round int
+	// Live is the number of still-live nodes per shard after the round —
+	// the live-node histogram that reveals shard imbalance as nodes halt.
+	Live []int
+	// Busy is each shard's sweep (node execution) time for the round.
+	Busy []time.Duration
+	// Merge is the coordinator's delivery time for the round: fault
+	// draws, accounting, and the shard-order outbox merge.
+	Merge time.Duration
+}
+
+// WorkerCount resolves Options.Workers for an n-vertex run: Workers when
+// positive, else GOMAXPROCS, clamped to [1, max(n, 1)].
+func (o Options) WorkerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPool executes the program on the sharded worker pool: workerCount
+// long-lived workers each own one contiguous vertex shard and sweep its
+// live nodes every round, with a channel barrier per round (two channel
+// operations per *worker* per round, against two per *vertex* per round
+// for the legacy driver). Delivery happens on the coordinator between
+// rounds; see deliver for why no re-sorting is needed.
+func (r *Runner) runPool() (Result, error) {
+	n := r.g.N()
+	workers := r.opts.WorkerCount(n)
+	st := r.newExecState(workers)
+	if n == 0 {
+		return r.runLoop(st, func(int) {}, nil)
+	}
+	timed := r.opts.PoolObserver != nil
+
+	starts := make([]chan int, workers)
+	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for s := 0; s < workers; s++ {
+		starts[s] = make(chan int, 1)
+		go func(sh *shard, start chan int) {
+			defer wg.Done()
+			for round := range start {
+				if timed {
+					t0 := time.Now()
+					r.sweepShard(st, sh, round)
+					sh.busy = int64(time.Since(t0))
+				} else {
+					r.sweepShard(st, sh, round)
+				}
+				done <- struct{}{}
+			}
+		}(st.shards[s], starts[s])
+	}
+	defer func() {
+		for _, start := range starts {
+			close(start)
+		}
+		wg.Wait()
+	}()
+
+	// The barrier: every worker sweeps, the coordinator waits for all of
+	// them. Workers with no live nodes still get the round so the channel
+	// protocol stays uniform; their sweep is an empty loop.
+	sweep := func(round int) {
+		for _, start := range starts {
+			start <- round
+		}
+		for i := 0; i < workers; i++ {
+			<-done
+		}
+	}
+
+	if !timed {
+		return r.runLoop(st, sweep, nil)
+	}
+
+	// Metrics plumbing: wrap deliver timing around the coordinator's
+	// merge and emit one PoolRoundMetrics per round. Buffers are reused;
+	// the observer contract forbids retaining them.
+	m := PoolRoundMetrics{
+		Live: make([]int, workers),
+		Busy: make([]time.Duration, workers),
+	}
+	var mergeStart time.Time
+	timedSweep := func(round int) {
+		sweep(round)
+		mergeStart = time.Now()
+	}
+	afterRound := func(round int) {
+		merge := time.Since(mergeStart)
+		m.Round = round
+		m.Merge = merge
+		for s, sh := range st.shards {
+			m.Live[s] = len(sh.live)
+			m.Busy[s] = time.Duration(sh.busy)
+		}
+		r.opts.PoolObserver(m)
+	}
+	return r.runLoop(st, timedSweep, afterRound)
+}
+
+// runGoroutinePerVertex is the legacy parallel driver: one long-lived
+// goroutine per vertex with a channel round-trip per vertex per round. It
+// is kept as the baseline the pool driver is benchmarked against
+// (BENCH_congest.json, BenchmarkEngineDrivers); its scheduler overhead
+// dominates at large n. Each vertex is its own single-vertex shard, so the
+// shared deliver sees the same shard-ordered outboxes as the other
+// drivers.
+func (r *Runner) runGoroutinePerVertex() (Result, error) {
+	n := r.g.N()
+	st := r.newExecState(n)
+	if n == 0 {
+		return r.runLoop(st, func(int) {}, nil)
+	}
+	starts := make([]chan int, n)
+	done := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		starts[v] = make(chan int, 1)
+		go func(sh *shard, start chan int) {
+			defer wg.Done()
+			for round := range start {
+				r.sweepShard(st, sh, round)
+				done <- struct{}{}
+			}
+		}(st.shards[v], starts[v])
+	}
+	defer func() {
+		for _, start := range starts {
+			close(start)
+		}
+		wg.Wait()
+	}()
+
+	sweep := func(round int) {
+		dispatched := 0
+		for v := 0; v < n; v++ {
+			if len(st.shards[v].live) == 0 {
+				continue
+			}
+			starts[v] <- round
+			dispatched++
+		}
+		for i := 0; i < dispatched; i++ {
+			<-done
+		}
+	}
+	return r.runLoop(st, sweep, nil)
+}
+
+// DriverStats aggregates PoolRoundMetrics across a run (or several runs)
+// into the driver-efficiency summary cmd/bench -parallel reports. Plug
+// its Observe method into Options.PoolObserver. Not safe for concurrent
+// use; the engine only calls the observer from the coordinator.
+type DriverStats struct {
+	// Rounds is the number of observed rounds (Init included).
+	Rounds int
+	// Workers is the widest shard count observed.
+	Workers int
+	// Busy is total worker time spent sweeping nodes, summed over shards.
+	Busy time.Duration
+	// Critical is the per-round maximum shard sweep time, summed over
+	// rounds — the parallel critical path of the sweeps.
+	Critical time.Duration
+	// Merge is total coordinator time spent merging outboxes into
+	// inboxes (delivery, fault draws, accounting).
+	Merge time.Duration
+	// LiveMax and LiveMin sum each round's largest and smallest per-shard
+	// live count; their ratio exposes shard imbalance as nodes halt.
+	LiveMax, LiveMin int64
+}
+
+// Observe folds one round of metrics into the aggregate.
+func (d *DriverStats) Observe(m PoolRoundMetrics) {
+	d.Rounds++
+	if len(m.Busy) > d.Workers {
+		d.Workers = len(m.Busy)
+	}
+	var max time.Duration
+	for _, b := range m.Busy {
+		d.Busy += b
+		if b > max {
+			max = b
+		}
+	}
+	d.Critical += max
+	if len(m.Live) > 0 {
+		lo, hi := m.Live[0], m.Live[0]
+		for _, l := range m.Live[1:] {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		d.LiveMax += int64(hi)
+		d.LiveMin += int64(lo)
+	}
+	d.Merge += m.Merge
+}
+
+// Efficiency returns sweep-parallelism efficiency in (0, 1]: total busy
+// time divided by workers × critical path. 1 means perfectly balanced
+// shards; it returns NaN-free 0 when nothing was observed.
+func (d *DriverStats) Efficiency() float64 {
+	if d.Workers == 0 || d.Critical == 0 {
+		return 0
+	}
+	return float64(d.Busy) / (float64(d.Workers) * float64(d.Critical))
+}
+
+// String renders the aggregate for cmd/bench.
+func (d *DriverStats) String() string {
+	if d.Rounds == 0 {
+		return "pool driver: no rounds observed"
+	}
+	return fmt.Sprintf(
+		"pool driver: %d rounds, %d workers, busy %v (critical path %v, efficiency %.2f), merge %v",
+		d.Rounds, d.Workers, d.Busy.Round(time.Microsecond),
+		d.Critical.Round(time.Microsecond), d.Efficiency(),
+		d.Merge.Round(time.Microsecond))
+}

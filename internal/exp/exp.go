@@ -28,8 +28,14 @@ type Config struct {
 	Seeds int
 	// Quick shrinks sweeps for tests and smoke runs.
 	Quick bool
-	// Parallel selects the goroutine-per-node driver for the runs.
+	// Parallel selects the sharded worker-pool driver for the runs.
 	Parallel bool
+	// Workers is the pool driver's shard count (0 = GOMAXPROCS).
+	Workers int
+	// PoolStats, when non-nil and Parallel is set, accumulates the pool
+	// driver's per-round efficiency metrics across every run the config
+	// spawns (cmd/bench -parallel reports the aggregate).
+	PoolStats *congest.DriverStats
 }
 
 // DefaultConfig returns the full-size configuration used by cmd/bench.
@@ -51,10 +57,15 @@ func (c Config) seeds() int {
 
 // opts builds engine options for replication i of a labeled sub-experiment.
 func (c Config) opts(label uint64, i int) congest.Options {
-	return congest.Options{
+	o := congest.Options{
 		Seed:     rng.New(c.Seed).Split(label).Split(uint64(i)).Uint64(),
 		Parallel: c.Parallel,
+		Workers:  c.Workers,
 	}
+	if c.Parallel && c.PoolStats != nil {
+		o.PoolObserver = c.PoolStats.Observe
+	}
+	return o
 }
 
 // graphRNG derives the generator stream for a labeled sub-experiment.

@@ -3,6 +3,8 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/congest"
 )
 
 func TestAllDriversRunQuick(t *testing.T) {
@@ -68,6 +70,48 @@ func TestOptsDeterministic(t *testing.T) {
 	}
 	if c.opts(7, 4).Seed == a.Seed || c.opts(8, 3).Seed == a.Seed {
 		t.Fatal("labels/replications share seeds")
+	}
+}
+
+func TestOptsWirePoolDriver(t *testing.T) {
+	var stats congest.DriverStats
+	c := Config{Seed: 1, Parallel: true, Workers: 3, PoolStats: &stats}
+	o := c.opts(1, 0)
+	if !o.Parallel || o.Workers != 3 || o.PoolObserver == nil {
+		t.Fatalf("pool plumbing lost: %+v", o)
+	}
+	if seq := (Config{Seed: 1}).opts(1, 0); seq.PoolObserver != nil {
+		t.Fatal("sequential config must not install a pool observer")
+	}
+}
+
+// TestRunEngineBench covers the BENCH_congest.json producer: all three
+// drivers measured on identical work, with identical counters.
+func TestRunEngineBench(t *testing.T) {
+	rep, err := RunEngineBench(256, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Drivers) != 3 {
+		t.Fatalf("expected 3 drivers, got %d", len(rep.Drivers))
+	}
+	names := map[string]bool{}
+	for _, d := range rep.Drivers {
+		names[d.Driver] = true
+		if d.Rounds != rep.Drivers[0].Rounds || d.Messages != rep.Drivers[0].Messages {
+			t.Fatalf("driver %s counters diverge: %+v", d.Driver, d)
+		}
+		if d.WallNS <= 0 || d.RoundsPerSec <= 0 || d.MessagesPerSec <= 0 || d.NSPerRound <= 0 {
+			t.Fatalf("driver %s has non-positive throughput: %+v", d.Driver, d)
+		}
+	}
+	for _, want := range []string{"sequential", "pool", "goroutine-per-vertex"} {
+		if !names[want] {
+			t.Fatalf("driver %q missing from report", want)
+		}
+	}
+	if rep.N != 256 || rep.Seed != 3 || rep.Algorithm == "" || rep.GoMaxProcs < 1 {
+		t.Fatalf("report metadata wrong: %+v", rep)
 	}
 }
 

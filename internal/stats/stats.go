@@ -41,11 +41,15 @@ func (s *Summary) Add(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
-// AddN records n copies of x (constant time).
+// AddN records n copies of x in constant time, by merging the closed-form
+// summary of n identical samples (mean x, zero second moment) via the
+// Chan et al. parallel-merge update that Merge implements.
 func (s *Summary) AddN(x float64, n int) {
-	for i := 0; i < n; i++ {
-		s.Add(x)
+	if n <= 0 {
+		return
 	}
+	batch := Summary{n: n, mean: x, min: x, max: x}
+	s.Merge(&batch)
 }
 
 // N returns the number of samples recorded.

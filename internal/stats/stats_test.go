@@ -100,6 +100,56 @@ func TestAddN(t *testing.T) {
 	if s.N() != 4 || s.Mean() != 2.5 {
 		t.Fatalf("AddN: n=%d mean=%v", s.N(), s.Mean())
 	}
+	s.AddN(3.0, 0)
+	s.AddN(3.0, -2)
+	if s.N() != 4 {
+		t.Fatalf("AddN with n<=0 changed the summary: n=%d", s.N())
+	}
+}
+
+// TestAddNMatchesRepeatedAdd pins the batched Welford update to the
+// reference semantics: AddN(x, n) must agree with n repeated Adds to float
+// tolerance in every statistic, including when interleaved with other
+// samples.
+func TestAddNMatchesRepeatedAdd(t *testing.T) {
+	close := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsNaN(a) == math.IsNaN(b)
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+	}
+	steps := []struct {
+		x float64
+		n int
+	}{
+		{2.5, 1000}, {-7.25, 1}, {0.125, 313}, {1e6, 7}, {-3.5, 42},
+	}
+	var batched, repeated Summary
+	for _, st := range steps {
+		batched.AddN(st.x, st.n)
+		for i := 0; i < st.n; i++ {
+			repeated.Add(st.x)
+		}
+		if batched.N() != repeated.N() {
+			t.Fatalf("N: %d vs %d", batched.N(), repeated.N())
+		}
+		checks := []struct {
+			name string
+			a, b float64
+		}{
+			{"mean", batched.Mean(), repeated.Mean()},
+			{"var", batched.Var(), repeated.Var()},
+			{"min", batched.Min(), repeated.Min()},
+			{"max", batched.Max(), repeated.Max()},
+		}
+		for _, c := range checks {
+			if !close(c.a, c.b) {
+				t.Fatalf("after AddN(%v, %d): %s = %v, repeated Add gives %v",
+					st.x, st.n, c.name, c.a, c.b)
+			}
+		}
+	}
 }
 
 func TestQuantile(t *testing.T) {

@@ -13,7 +13,9 @@
 //   - the experiment drivers that regenerate every table in EXPERIMENTS.md.
 //
 // Everything runs on the in-repo CONGEST simulator: pass Options{Parallel:
-// true} to execute one goroutine per graph node.
+// true} to execute on the sharded worker-pool driver (one worker per CPU,
+// each owning a contiguous vertex shard), which is bit-identical to the
+// sequential driver for the same seed.
 package repro
 
 import (
@@ -49,6 +51,12 @@ type (
 	Outcome = core.Outcome
 	// Status classifies a node after a run.
 	Status = base.Status
+	// DriverKind selects the engine execution strategy (see the Driver*
+	// constants).
+	DriverKind = congest.DriverKind
+	// DriverStats aggregates the worker-pool driver's efficiency metrics;
+	// plug its Observe method into Options.PoolObserver.
+	DriverStats = congest.DriverStats
 	// Family is a read-k family of boolean variables.
 	Family = readk.Family
 	// Report is a regenerated experiment table.
@@ -61,6 +69,19 @@ type (
 const (
 	StatusInMIS     = base.StatusInMIS
 	StatusDominated = base.StatusDominated
+)
+
+// Engine drivers. Options{Parallel: true} selects DriverPool; set
+// Options.Driver for an explicit choice.
+const (
+	// DriverSequential sweeps vertices in ID order on one goroutine.
+	DriverSequential = congest.DriverSequential
+	// DriverPool is the sharded worker-pool driver (GOMAXPROCS workers by
+	// default; override with Options.Workers).
+	DriverPool = congest.DriverPool
+	// DriverGoroutinePerVertex is the legacy one-goroutine-per-node
+	// driver, kept as a benchmark baseline.
+	DriverGoroutinePerVertex = congest.DriverGoroutinePerVertex
 )
 
 // NewGraph builds a graph on n vertices from an edge list (self-loops and
