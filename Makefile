@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test race bench-engine bench
+.PHONY: build test race cover ci bench-engine bench bench-faults
 
 build:
 	go build ./...
@@ -15,10 +15,33 @@ test: build
 race:
 	go vet ./internal/congest/... && go test -race ./internal/congest/...
 
+# Coverage gate: the engine and the fault-injection subsystem are the
+# load-bearing packages; their statement coverage must stay at or above
+# the threshold.
+COVER_PKGS = repro/internal/faultsim repro/internal/congest
+COVER_MIN  = 60.0
+
+cover:
+	@go test -cover $(COVER_PKGS) | awk -v min=$(COVER_MIN) ' \
+		{ print } \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub(/%/, "", pct); \
+				if (pct + 0 < min) { printf "FAIL: %s coverage %s%% below %s%%\n", $$2, pct, min; bad = 1 } } \
+		} \
+		END { exit bad }'
+
+# Full pre-merge gate: build + tests, race-detector pass, coverage floor.
+ci: test race cover
+
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
 bench-engine:
 	go run ./cmd/bench -engine-bench BENCH_congest.json
+
+# Refresh the seed-pinned fault-tolerance sweep (safety must hold at every
+# fault intensity; rounds and coverage are the recorded trajectory).
+bench-faults:
+	go run ./cmd/bench -faults BENCH_faults.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

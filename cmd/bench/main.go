@@ -4,6 +4,7 @@
 //
 //	bench [-quick] [-seeds N] [-seed S] [-only E1,E4,A2] [-parallel] [-workers W] [-format csv]
 //	bench -engine-bench BENCH_congest.json [-engine-n N] [-seed S]
+//	bench -faults BENCH_faults.json [-faults-n N] [-seeds K] [-seed S]
 //
 // Each experiment prints its table and notes; the process exits non-zero if
 // any driver fails. With -parallel the runs use the sharded worker-pool
@@ -14,6 +15,11 @@
 // legacy goroutine-per-vertex) on a seed-pinned workload and writes the
 // rounds/sec and messages/sec trajectory as JSON, so perf changes are
 // visible across PRs.
+//
+// -faults sweeps the E16 fault scenarios (drops, crashes, partitions)
+// against the fault-tolerant MIS on a seed-pinned workload and writes the
+// rounds/coverage trajectory as JSON; the run fails if any fault plan
+// produces an independence violation.
 package main
 
 import (
@@ -44,10 +50,19 @@ func run() int {
 	engineBench := flag.String("engine-bench", "", "write engine driver throughput JSON to this file and exit")
 	engineN := flag.Int("engine-n", 1<<14, "graph size for -engine-bench")
 	engineReps := flag.Int("engine-reps", 3, "runs per driver for -engine-bench (best wall time wins)")
+	faults := flag.String("faults", "", "write fault-tolerance sweep JSON to this file and exit")
+	faultsN := flag.Int("faults-n", 1<<10, "graph size for -faults")
 	flag.Parse()
 
 	if *engineBench != "" {
 		return runEngineBench(*engineBench, *engineN, *seed, *engineReps)
+	}
+	if *faults != "" {
+		k := *seeds
+		if k <= 0 {
+			k = 5
+		}
+		return runFaultBench(*faults, *faultsN, *seed, k)
 	}
 
 	cfg := exp.DefaultConfig()
@@ -137,5 +152,30 @@ func runEngineBench(path string, n int, seed uint64, reps int) int {
 			d.RoundsPerSec, d.MessagesPerSec)
 	}
 	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runFaultBench sweeps the fault scenarios and writes BENCH_faults.json.
+func runFaultBench(path string, n int, seed uint64, seeds int) int {
+	report, err := exp.RunFaultBench(n, seed, seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fault bench: %v\n", err)
+		return 1
+	}
+	for _, e := range report.Entries {
+		fmt.Printf("%-14s x=%-6v runs=%d rounds=%.1f coverage=%.3f undecided=%d crashed=%d dropped=%d delayed=%d\n",
+			e.Scenario, e.Intensity, e.Runs, e.MeanRounds, e.Coverage, e.Undecided, e.Crashed, e.Dropped, e.Delayed)
+	}
+	fmt.Printf("wrote %s (safety: 0 violations across %d entries)\n", path, len(report.Entries))
 	return 0
 }

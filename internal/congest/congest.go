@@ -22,8 +22,15 @@
 //     order — within a shard nodes are swept in ID order, and shards
 //     cover contiguous ID ranges merged in shard order — so inboxes are
 //     sorted by sender without any per-round sort; and
-//  3. fault-injection draws happen on the coordinator during delivery, in
-//     that same global sender order, from a dedicated fault stream.
+//  3. fault-injection decisions (the faultsim.Plan consults, including any
+//     random draws) happen on the coordinator during delivery, in that
+//     same global sender order, from a dedicated fault stream.
+//
+// Fault injection is delegated to internal/faultsim: Options.Faults
+// accepts any faultsim.Plan (message drops, link bursts, partitions,
+// vertex crashes and restarts, delivery delays), and the legacy
+// Options.DropProb knob is implemented as a faultsim.BernoulliDrop layered
+// under the plan.
 package congest
 
 import (
@@ -31,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultsim"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -194,9 +202,22 @@ type Options struct {
 	MessageBitLimit int
 	// DropProb, when positive, drops each message independently with this
 	// probability (deterministically, from a fault stream derived from
-	// Seed). This deliberately breaks the reliable-delivery assumption of
-	// CONGEST; it exists for robustness experiments only.
+	// Seed).
+	//
+	// Deprecated: DropProb is the legacy uniform-loss knob, kept working
+	// for callers and experiments that predate structured fault plans. It
+	// is implemented as a faultsim.BernoulliDrop composed under Faults;
+	// new code should set Faults directly.
 	DropProb float64
+	// Faults, when non-nil, is the fault-injection plan for the run: it
+	// decides the fate of every message (drop, delay) and every vertex
+	// (crash-stop, crash-restart) per round. Plans are consulted on the
+	// coordinator in global sender order with a dedicated RNG stream split
+	// from Seed, so faulted runs stay bit-identical across drivers. When
+	// DropProb is also set, the Bernoulli layer is consulted first. This
+	// deliberately breaks the reliable-delivery assumption of CONGEST; it
+	// exists for robustness experiments only.
+	Faults faultsim.Plan
 	// Observer, when non-nil, is called after every completed round with
 	// the round number, the number of nodes still live after it, and the
 	// number of messages sent during it. Round 0 reports Init. It runs on
@@ -239,8 +260,13 @@ type Result struct {
 	TotalBits int64
 	// MaxMessageBits is the largest single payload observed.
 	MaxMessageBits int
-	// Dropped counts messages discarded by fault injection.
+	// Dropped counts messages discarded by fault injection — random and
+	// structured losses plus messages addressed to a crashed vertex.
 	Dropped int64
+	// Delayed counts messages the fault plan deferred to a later round.
+	// A deferred message that is eventually delivered also counts in
+	// Messages; one still in flight when the run ends does not.
+	Delayed int64
 }
 
 // ErrMaxRounds reports that a run was aborted before all nodes halted.
@@ -307,8 +333,27 @@ type execState struct {
 	shards   []*shard
 	live     int
 	res      Result
-	faults   *rng.RNG
-	observed int64 // messages already reported to the observer
+	plan     faultsim.Plan       // effective fault plan (nil = reliable network)
+	faults   *rng.RNG            // coordinator-owned fault stream
+	delayed  map[int][]addressed // in-flight messages keyed by consumption round
+	sent     int64               // messages handed to delivery, any fate
+	observed int64               // sends already reported to the observer
+}
+
+// effectivePlan resolves the run's fault model: the legacy DropProb knob
+// becomes a BernoulliDrop layer consulted before any explicit plan, which
+// keeps DropProb-only runs bit-identical to the pre-faultsim engine (one
+// Bool draw per message from the same stream, in the same order).
+func (o Options) effectivePlan() faultsim.Plan {
+	plan := o.Faults
+	if o.DropProb > 0 {
+		drop := faultsim.BernoulliDrop{P: o.DropProb}
+		if plan == nil {
+			return drop
+		}
+		plan = faultsim.Compose(drop, plan)
+	}
+	return plan
 }
 
 // newExecState prepares contexts and shards. Shard boundaries split the
@@ -327,8 +372,9 @@ func (r *Runner) newExecState(numShards int) *execState {
 		inboxes: make([][]Message, n),
 		shards:  make([]*shard, numShards),
 		live:    n,
+		plan:    r.opts.effectivePlan(),
 	}
-	if r.opts.DropProb > 0 {
+	if st.plan != nil {
 		st.faults = root.Split(^uint64(0))
 	}
 	for s := range st.shards {
@@ -351,10 +397,24 @@ func (r *Runner) newExecState(numShards int) *execState {
 }
 
 // sweepShard runs one round for every live node of a shard, in ID order,
-// and compacts the live list in place. Round 0 is Init.
+// and compacts the live list in place. Round 0 is Init and always runs in
+// full; from round 1 on the fault plan may skip a crashed vertex for the
+// round (down) or retire it from the live list for good (gone), so a run
+// with permanent crashes can still terminate. Vertex fates are pure
+// functions of (round, vertex), so concurrent shard workers agree with
+// the sequential sweep.
 func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 	live := sh.live[:0]
 	for _, v := range sh.live {
+		if round > 0 && st.plan != nil {
+			switch st.plan.Vertex(round, v) {
+			case faultsim.VertexGone:
+				continue
+			case faultsim.VertexDown:
+				live = append(live, v)
+				continue
+			}
+		}
 		ctx := st.ctxs[v]
 		ctx.round = round
 		if round == 0 {
@@ -370,19 +430,22 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 }
 
 // deliver merges every shard's outbox into the next round's inboxes,
-// applying fault injection and accounting. It returns the first model
-// violation recorded by any context (in vertex-ID order, so the reported
-// error does not depend on the driver).
+// applying the fault plan and accounting. round is the round that was just
+// swept (the send round); its messages are consumed in round+1. It returns
+// the first model violation recorded by any context (in vertex-ID order,
+// so the reported error does not depend on the driver).
 //
 // The merge is the zero-copy replacement for the old per-inbox
 // sort.SliceStable: shards cover contiguous ascending ID ranges and each
 // shard outbox is already in ascending sender order, so appending shard
 // outboxes in shard order delivers every inbox sorted by sender — message
 // values move straight from shard outboxes into inboxes, with no
-// intermediate buffer and no sort. Fault draws happen in that same global
-// sender order, so the fault stream consumption is identical across
-// drivers.
-func (r *Runner) deliver(st *execState) error {
+// intermediate buffer and no sort. Fault decisions happen in that same
+// global sender order, so the fault stream consumption is identical
+// across drivers. Messages a plan has delayed land ahead of the round's
+// fresh traffic, in the order they were deferred (which is itself global
+// send order, so the whole inbox is deterministic).
+func (r *Runner) deliver(st *execState, round int) error {
 	for _, ctx := range st.ctxs {
 		if ctx.err != nil {
 			return ctx.err
@@ -391,23 +454,54 @@ func (r *Runner) deliver(st *execState) error {
 	for v := range st.inboxes {
 		st.inboxes[v] = st.inboxes[v][:0]
 	}
+	consume := round + 1
+	if st.delayed != nil {
+		for _, a := range st.delayed[consume] {
+			st.admit(a, consume)
+		}
+		delete(st.delayed, consume)
+	}
 	for _, sh := range st.shards {
 		for _, a := range sh.outbox {
-			if st.faults != nil && st.faults.Bool(r.opts.DropProb) {
-				st.res.Dropped++
-				continue
+			st.sent++
+			if st.plan != nil {
+				fate := st.plan.Message(round, a.msg.From, a.to, st.faults)
+				if fate.Drop {
+					st.res.Dropped++
+					continue
+				}
+				if fate.Delay > 0 {
+					if st.delayed == nil {
+						st.delayed = make(map[int][]addressed)
+					}
+					at := consume + fate.Delay
+					st.delayed[at] = append(st.delayed[at], a)
+					st.res.Delayed++
+					continue
+				}
 			}
-			st.inboxes[a.to] = append(st.inboxes[a.to], a.msg)
-			st.res.Messages++
-			bits := a.msg.Payload.Bits()
-			st.res.TotalBits += int64(bits)
-			if bits > st.res.MaxMessageBits {
-				st.res.MaxMessageBits = bits
-			}
+			st.admit(a, consume)
 		}
 		sh.outbox = sh.outbox[:0]
 	}
 	return nil
+}
+
+// admit finalizes delivery of one message into its recipient's inbox for
+// the given consumption round, unless the recipient is crashed then — a
+// dead vertex is not listening, so the message is lost.
+func (st *execState) admit(a addressed, consume int) {
+	if st.plan != nil && st.plan.Vertex(consume, a.to) != faultsim.VertexUp {
+		st.res.Dropped++
+		return
+	}
+	st.inboxes[a.to] = append(st.inboxes[a.to], a.msg)
+	st.res.Messages++
+	bits := a.msg.Payload.Bits()
+	st.res.TotalBits += int64(bits)
+	if bits > st.res.MaxMessageBits {
+		st.res.MaxMessageBits = bits
+	}
 }
 
 // refreshLive recomputes the live-node count from the shard live lists.
@@ -419,14 +513,15 @@ func (st *execState) refreshLive() {
 	st.live = live
 }
 
-// observe reports one completed round to the configured observer, deriving
-// the per-round sent count from the running message total.
+// observe reports one completed round to the configured observer. Sends
+// are counted once, in their send round, whatever fate the fault plan
+// assigned them.
 func (r *Runner) observe(st *execState, round int) {
 	if r.opts.Observer == nil {
 		return
 	}
-	sent := st.res.Messages + st.res.Dropped - st.observed
-	st.observed = st.res.Messages + st.res.Dropped
+	sent := st.sent - st.observed
+	st.observed = st.sent
 	r.opts.Observer(round, st.live, sent)
 }
 
@@ -440,7 +535,7 @@ func (r *Runner) observe(st *execState, round int) {
 // round, not the one that failed.
 func (r *Runner) runLoop(st *execState, sweep func(round int), afterRound func(round int)) (Result, error) {
 	sweep(0)
-	if err := r.deliver(st); err != nil {
+	if err := r.deliver(st, 0); err != nil {
 		return st.res, err
 	}
 	st.refreshLive()
@@ -453,7 +548,7 @@ func (r *Runner) runLoop(st *execState, sweep func(round int), afterRound func(r
 			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
 		}
 		sweep(round)
-		if err := r.deliver(st); err != nil {
+		if err := r.deliver(st, round); err != nil {
 			return st.res, err
 		}
 		st.res.Rounds = round

@@ -8,14 +8,17 @@
 package congest_test
 
 import (
+	"hash/fnv"
 	"testing"
 
 	"repro/internal/congest"
+	"repro/internal/faultsim"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mis/base"
 	"repro/internal/mis/colevishkin"
 	"repro/internal/mis/degreduce"
+	"repro/internal/mis/ftmetivier"
 	"repro/internal/mis/ghaffari"
 	"repro/internal/mis/localmin"
 	"repro/internal/mis/luby"
@@ -133,6 +136,128 @@ func TestCrossDriverAllPrograms(t *testing.T) {
 			// where a stalled run (ErrMaxRounds) is acceptable as long as
 			// every driver stalls identically.
 			runMatrix(t, prog.name+"/drop", g, congest.Options{Seed: 77, DropProb: 0.05, MaxRounds: 500}, prog.run)
+		}
+	}
+}
+
+// faultPlans builds one instance of every faultsim plan kind (plus a
+// composition of all of them) sized for an n-vertex graph g, for the
+// cross-driver matrix: faulted executions must be bit-identical across
+// drivers for every plan, exactly like clean ones.
+func faultPlans(g *graph.Graph) []struct {
+	name string
+	plan faultsim.Plan
+} {
+	n := g.N()
+	var pairs [][2]int
+	for v := 0; v < n && len(pairs) < 24; v += 7 {
+		for _, w := range g.Neighbors(v) {
+			pairs = append(pairs, [2]int{v, w})
+		}
+	}
+	side := make([]bool, n)
+	for v := range side {
+		side[v] = v%2 == 0
+	}
+	bernoulli := faultsim.BernoulliDrop{P: 0.08}
+	burst := faultsim.NewLinkBurst(faultsim.BothWays(pairs), 2, 9)
+	partition := faultsim.NewPartition(side, 4, 12)
+	crashStop := faultsim.NewCrashStop(faultsim.SpreadCrashes(n, n/16, 2, 5))
+	crashRestart := faultsim.NewCrashRestart(map[int]faultsim.Window{
+		1:     {Down: 2, Up: 8},
+		n / 2: {Down: 3, Up: 0},
+		n - 1: {Down: 5, Up: 20},
+	})
+	delay := faultsim.DelayK{K: 3}
+	return []struct {
+		name string
+		plan faultsim.Plan
+	}{
+		{"bernoulli", bernoulli},
+		{"linkburst", burst},
+		{"partition", partition},
+		{"crashstop", crashStop},
+		{"crashrestart", crashRestart},
+		{"delayk", delay},
+		{"composed", faultsim.Compose(bernoulli, burst, partition, crashStop, crashRestart, delay)},
+	}
+}
+
+// TestCrossDriverFaultPlans sweeps every fault plan kind across the full
+// driver matrix for a priority program and its fault-tolerant variant. A
+// stalled run (ErrMaxRounds) is acceptable as long as every driver stalls
+// with identical counters and statuses.
+func TestCrossDriverFaultPlans(t *testing.T) {
+	n := 256
+	g := gen.UnionOfTrees(n, 2, rng.New(21))
+	progs := []statusProgram{
+		{"metivier", metivier.Run},
+		{"ftmetivier", ftmetivier.Run},
+	}
+	for _, fp := range faultPlans(g) {
+		for _, prog := range progs {
+			opts := congest.Options{Seed: 33, Faults: fp.plan, MaxRounds: 400}
+			runMatrix(t, prog.name+"/"+fp.name, g, opts, prog.run)
+		}
+	}
+}
+
+// statusFingerprint hashes a status vector for golden pinning.
+func statusFingerprint(st []base.Status) uint64 {
+	h := fnv.New64a()
+	for _, s := range st {
+		h.Write([]byte{byte(s)})
+	}
+	return h.Sum64()
+}
+
+// TestGoldenFaultedExecution pins one faulted run exactly: fixed seed,
+// fixed CrashRestart + BernoulliDrop plan, n = 256. Every driver must
+// reproduce the same round count, the same Result counters, and the same
+// per-node output, and those values must not drift across PRs — fault
+// injection is part of the engine's determinism contract, so any change
+// here must be deliberate (re-derive and update, as with golden_test.go).
+func TestGoldenFaultedExecution(t *testing.T) {
+	const (
+		wantRounds      = 204
+		wantMIS         = 94
+		wantCrashed     = 3
+		wantFingerprint = uint64(0x6608fb1ead99f649)
+	)
+	n := 256
+	g := gen.UnionOfTrees(n, 2, rng.New(77))
+	plan := faultsim.Compose(
+		faultsim.BernoulliDrop{P: 0.1},
+		faultsim.NewCrashRestart(map[int]faultsim.Window{
+			5:   {Down: 2, Up: 14},
+			64:  {Down: 4, Up: 0},
+			128: {Down: 6, Up: 0},
+			200: {Down: 3, Up: 0},
+		}),
+	)
+	for _, d := range driverMatrix {
+		opts := congest.Options{Seed: 1234, Faults: plan, MaxRounds: 400}
+		d.set(&opts)
+		st, res, err := ftmetivier.Run(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		if res.Rounds != wantRounds {
+			t.Fatalf("%s: rounds = %d, want %d", d.name, res.Rounds, wantRounds)
+		}
+		crashed := faultsim.CrashedAt(plan, res.Rounds+1, n)
+		rep, err := faultsim.Check(g, base.MISSet(st), crashed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Safe() {
+			t.Fatalf("%s: independence violated: %v", d.name, rep.Violations)
+		}
+		if rep.InMIS != wantMIS || rep.Crashed != wantCrashed {
+			t.Fatalf("%s: |MIS| = %d crashed = %d, want %d/%d", d.name, rep.InMIS, rep.Crashed, wantMIS, wantCrashed)
+		}
+		if fp := statusFingerprint(st); fp != wantFingerprint {
+			t.Fatalf("%s: status fingerprint %#x, want %#x", d.name, fp, wantFingerprint)
 		}
 	}
 }

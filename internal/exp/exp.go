@@ -1,5 +1,5 @@
 // Package exp contains the experiment harness: one driver per experiment
-// in DESIGN.md's index (E1-E15, A1-A5). Each driver returns a Report with
+// in DESIGN.md's index (E1-E16, A1-A5). Each driver returns a Report with
 // a rendered table and observations; cmd/bench regenerates all of them and
 // bench_test.go exposes each as a testing.B benchmark.
 //
@@ -119,6 +119,7 @@ func All() []Driver {
 		{ID: "E13", Name: "degree-reduction", Run: E13DegreeReduction},
 		{ID: "E14", Name: "round-decay", Run: E14RoundDecay},
 		{ID: "E15", Name: "maximal-matching", Run: E15Matching},
+		{ID: "E16", Name: "fault-tolerance", Run: E16FaultTolerance},
 		{ID: "A1", Name: "rho-opt-out", Run: A1RhoOptOut},
 		{ID: "A2", Name: "param-profiles", Run: A2ParamProfiles},
 		{ID: "A3", Name: "scale-sensitivity", Run: A3ScaleSensitivity},

@@ -44,8 +44,8 @@ func TestDriverIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("driver %s incomplete", d.ID)
 		}
 	}
-	if len(seen) != 20 {
-		t.Fatalf("expected 20 drivers, got %d", len(seen))
+	if len(seen) != 21 {
+		t.Fatalf("expected 21 drivers, got %d", len(seen))
 	}
 }
 
@@ -112,6 +112,38 @@ func TestRunEngineBench(t *testing.T) {
 	}
 	if rep.N != 256 || rep.Seed != 3 || rep.Algorithm == "" || rep.GoMaxProcs < 1 {
 		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+}
+
+// TestRunFaultBench covers the BENCH_faults.json producer: every scenario
+// swept with zero safety violations and sane aggregates.
+func TestRunFaultBench(t *testing.T) {
+	rep, err := RunFaultBench(128, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 128 || rep.Seed != 3 || rep.Seeds != 2 || rep.Algorithm != "ftmetivier" {
+		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+	scenarios := map[string]bool{}
+	for _, e := range rep.Entries {
+		scenarios[e.Scenario] = true
+		if e.Violations != 0 {
+			t.Fatalf("%s x=%v: %d violations in a successful report", e.Scenario, e.Intensity, e.Violations)
+		}
+		if e.Stalled < e.Runs && (e.MeanRounds <= 0 || e.Coverage < 0 || e.Coverage > 1) {
+			t.Fatalf("%s x=%v: bad aggregates %+v", e.Scenario, e.Intensity, e)
+		}
+	}
+	for _, sc := range faultScenarios() {
+		if !scenarios[sc.name] {
+			t.Fatalf("scenario %q missing from report", sc.name)
+		}
+	}
+	// The p=0 drop point is a clean run: full coverage, nothing dropped.
+	clean := rep.Entries[0]
+	if clean.Scenario != "drop" || clean.Intensity != 0 || clean.Coverage != 1 || clean.Dropped != 0 {
+		t.Fatalf("clean baseline entry wrong: %+v", clean)
 	}
 }
 

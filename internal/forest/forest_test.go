@@ -123,6 +123,98 @@ func TestUnderestimatedAlphaStillTotal(t *testing.T) {
 	}
 }
 
+// pathForest builds k disjoint paths of l vertices each.
+func pathForest(k, l int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		base := i * l
+		for j := 1; j < l; j++ {
+			edges = append(edges, graph.Edge{U: base + j - 1, V: base + j})
+		}
+	}
+	return graph.MustNew(k*l, edges)
+}
+
+// parentLinks counts parent pointers across all forests (must equal the
+// edge count: every edge lands in exactly one forest).
+func parentLinks(d *Decomposition) int {
+	total := 0
+	for _, parent := range d.Parent {
+		for _, p := range parent {
+			if p >= 0 {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func TestDecomposeSingleVertex(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	d, res, err := Decompose(g, 1, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Levels[0] != 1 || d.NumLevels != 1 {
+		t.Fatalf("single vertex leveled %d/%d, want 1/1", d.Levels[0], d.NumLevels)
+	}
+	if parentLinks(d) != 0 {
+		t.Fatal("edgeless graph produced parent links")
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestDecomposeStarInvariants(t *testing.T) {
+	// A star peels in exactly two levels: every leaf has degree 1 ≤ 4α and
+	// goes in the first phase; the hub's residual degree then drops to 0.
+	g := gen.Star(64)
+	d, _, err := Decompose(g, 1, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLevels != 2 || d.Levels[0] != 2 {
+		t.Fatalf("hub level %d of %d, want 2 of 2", d.Levels[0], d.NumLevels)
+	}
+	for v := 1; v < g.N(); v++ {
+		if d.Levels[v] != 1 {
+			t.Fatalf("leaf %d at level %d, want 1", v, d.Levels[v])
+		}
+	}
+	if got := parentLinks(d); got != g.M() {
+		t.Fatalf("parent links %d != edges %d", got, g.M())
+	}
+}
+
+func TestDecomposeForestOfPaths(t *testing.T) {
+	// Disjoint paths: max degree 2 ≤ 4α, so the whole graph peels in one
+	// level and the α=1 bound of 4 forests must hold with room to spare.
+	g := pathForest(8, 25)
+	d, _, err := Decompose(g, 1, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLevels != 1 {
+		t.Fatalf("paths leveled in %d phases, want 1", d.NumLevels)
+	}
+	if d.NumForests() > 4 {
+		t.Fatalf("%d forests for a forest of paths, bound is 4", d.NumForests())
+	}
+	if got := parentLinks(d); got != g.M() {
+		t.Fatalf("parent links %d != edges %d", got, g.M())
+	}
+}
+
 func TestParallelDriverIdentical(t *testing.T) {
 	g := gen.UnionOfTrees(200, 2, rng.New(6))
 	a, _, err := Decompose(g, 2, congest.Options{Seed: 3})

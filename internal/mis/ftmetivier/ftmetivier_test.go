@@ -1,0 +1,182 @@
+package ftmetivier_test
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/faultsim"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mis/base"
+	"repro/internal/mis/ftmetivier"
+	"repro/internal/mis/metivier"
+	"repro/internal/rng"
+)
+
+// TestReliableNetworkMatchesMetivierOutput: with no faults, the
+// conservative rule decides exactly like plain Métivier (the inbox then
+// holds precisely the active neighbors' priorities), so the algorithm
+// must produce a complete valid MIS.
+func TestReliableNetworkMatchesMetivierOutput(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := gen.UnionOfTrees(400, 2, rng.New(seed))
+		st, res, err := ftmetivier.Run(g, congest.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := base.VerifyStatuses(g, st); err != nil {
+			t.Fatalf("seed %d: clean run not a valid MIS: %v", seed, err)
+		}
+		// Same priority draws, same decisions: plain Métivier on the same
+		// seed must agree on the output set.
+		mst, mres, err := metivier.Run(g, congest.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range st {
+			if (st[v] == base.StatusInMIS) != (mst[v] == base.StatusInMIS) {
+				t.Fatalf("seed %d: node %d decided differently from plain Métivier", seed, v)
+			}
+		}
+		if res.Rounds != mres.Rounds {
+			t.Fatalf("seed %d: %d rounds vs Métivier's %d", seed, res.Rounds, mres.Rounds)
+		}
+	}
+}
+
+// checkSafety runs one faulted configuration and asserts independence.
+func checkSafety(t *testing.T, label string, g *graph.Graph, opts congest.Options) *faultsim.Report {
+	t.Helper()
+	st, res, err := ftmetivier.Run(g, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	crashed := faultsim.CrashedAt(opts.Faults, res.Rounds+1, g.N())
+	rep, err := faultsim.Check(g, base.MISSet(st), crashed)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !rep.Safe() {
+		t.Fatalf("%s: independence violated: %v", label, rep.Violations)
+	}
+	return rep
+}
+
+// TestSafetyUnderHeavyLoss hammers the algorithm with aggressive drop
+// rates across many seeds; independence must hold in every single run
+// (this is the property plain Métivier fails — see experiment A4).
+func TestSafetyUnderHeavyLoss(t *testing.T) {
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		for seed := uint64(0); seed < 8; seed++ {
+			g := gen.UnionOfTrees(300, 2, rng.New(100+seed))
+			checkSafety(t, "drop", g, congest.Options{
+				Seed:   seed,
+				Faults: faultsim.BernoulliDrop{P: p},
+			})
+		}
+	}
+}
+
+// TestSafetyUnderCrashAndPartition exercises the vertex-fault and
+// structured-loss plans, composed.
+func TestSafetyUnderCrashAndPartition(t *testing.T) {
+	n := 300
+	for seed := uint64(0); seed < 6; seed++ {
+		g := gen.UnionOfTrees(n, 3, rng.New(200+seed))
+		side := make([]bool, n)
+		for v := range side {
+			side[v] = v%2 == 0
+		}
+		plan := faultsim.Compose(
+			faultsim.BernoulliDrop{P: 0.05},
+			faultsim.NewPartition(side, 4, 16),
+			faultsim.NewCrashRestart(map[int]faultsim.Window{
+				3:  {Down: 2, Up: 11},
+				77: {Down: 5, Up: 0},
+			}),
+			faultsim.NewCrashStop(faultsim.SpreadCrashes(n, 10, 6, 9)),
+		)
+		rep := checkSafety(t, "composed", g, congest.Options{Seed: seed, Faults: plan})
+		if rep.Crashed == 0 {
+			t.Fatal("crash plan had no victims")
+		}
+	}
+}
+
+// TestDelayDegradesLivenessNotSafety: uniform delay makes every priority
+// stale, so (almost) nobody can gather current-epoch evidence — coverage
+// collapses but the output stays independent and the run still
+// terminates at the iteration budget.
+func TestDelayDegradesLivenessNotSafety(t *testing.T) {
+	g := gen.UnionOfTrees(200, 2, rng.New(5))
+	st, res, err := ftmetivier.RunBudget(g, 8, congest.Options{
+		Seed:   5,
+		Faults: faultsim.DelayK{K: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := faultsim.Check(g, base.MISSet(st), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe() {
+		t.Fatalf("independence violated under delay: %v", rep.Violations)
+	}
+	if rep.Coverage() > 0.5 {
+		t.Fatalf("coverage %.2f under uniform delay; expected a liveness collapse", rep.Coverage())
+	}
+	if res.Rounds > 3*8+3 {
+		t.Fatalf("run of %d rounds exceeded the iteration budget", res.Rounds)
+	}
+}
+
+// TestBudgetTerminatesStalledRuns: a crash-stopped hub blocks its
+// neighbors forever; they must give up at the budget instead of hitting
+// MaxRounds.
+func TestBudgetTerminatesStalledRuns(t *testing.T) {
+	g := gen.Star(50)
+	st, res, err := ftmetivier.RunBudget(g, 10, congest.Options{
+		Seed:   1,
+		Faults: faultsim.NewCrashStop(map[int]int{0: 1}), // kill the hub
+	})
+	if err != nil {
+		t.Fatalf("stalled region must drain at the budget, got %v", err)
+	}
+	if res.Rounds > 33 {
+		t.Fatalf("%d rounds for a 10-iteration budget", res.Rounds)
+	}
+	// The hub's Init broadcast (round 0 always runs) gives every leaf its
+	// epoch-0 priority, so leaves that beat the dead hub still join.
+	// Leaves that lost epoch 0 can never gather hub evidence again: they
+	// must end undecided — never dominated, since the hub never joined.
+	joined, undecided := 0, 0
+	for v := 1; v < g.N(); v++ {
+		switch st[v] {
+		case base.StatusInMIS:
+			joined++
+		case base.StatusActive:
+			undecided++
+		default:
+			t.Fatalf("leaf %d ended %v; the dead hub cannot dominate anyone", v, st[v])
+		}
+	}
+	if joined == 0 || undecided == 0 {
+		t.Fatalf("joined=%d undecided=%d: expected an epoch-0 split against the dead hub", joined, undecided)
+	}
+}
+
+func TestStatusVocabulary(t *testing.T) {
+	g := gen.Path(4)
+	st, _, err := ftmetivier.Run(g, congest.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range st {
+		switch s {
+		case base.StatusInMIS, base.StatusDominated:
+		default:
+			t.Fatalf("clean run left node %d as %v", v, s)
+		}
+	}
+}

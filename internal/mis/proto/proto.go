@@ -18,6 +18,20 @@ type Priority struct {
 // Bits reports the payload size: 64 priority bits plus one compete flag.
 func (Priority) Bits() int { return 65 }
 
+// EpochPriority is a Priority tagged with the iteration that drew it.
+// Fault-tolerant programs need the tag: under message delay a stale
+// priority may surface rounds later, and using it in the wrong iteration
+// would void the safety argument, so receivers discard mismatched epochs.
+type EpochPriority struct {
+	Value uint64
+	// Epoch is the iteration index the priority belongs to.
+	Epoch int32
+}
+
+// Bits reports the payload size: 64 priority bits plus a 32-bit epoch
+// (an honest upper bound; epochs are O(log n) in any terminating run).
+func (EpochPriority) Bits() int { return 96 }
+
 // Kind enumerates the one-byte announcements the algorithms exchange.
 type Kind uint8
 

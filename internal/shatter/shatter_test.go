@@ -88,6 +88,100 @@ func TestFinishOnFamilies(t *testing.T) {
 	}
 }
 
+// pathForest builds k disjoint paths of l vertices each.
+func pathForest(k, l int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		base := i * l
+		for j := 1; j < l; j++ {
+			edges = append(edges, graph.Edge{U: base + j - 1, V: base + j})
+		}
+	}
+	return graph.MustNew(k*l, edges)
+}
+
+func TestAnalyzeStar(t *testing.T) {
+	// All leaves of a star form independent singletons; adding the hub
+	// merges them into one component.
+	g := gen.Star(10)
+	leaves := make([]int, 0, 9)
+	for v := 1; v < 10; v++ {
+		leaves = append(leaves, v)
+	}
+	st, err := Analyze(g, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 9 || st.MaxSize() != 1 {
+		t.Fatalf("leaf-only stats = %+v", st)
+	}
+	st, err = Analyze(g, append(leaves, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 1 || st.MaxSize() != 10 {
+		t.Fatalf("full-star stats = %+v", st)
+	}
+}
+
+func TestFinishSingleVertex(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	res, err := Finish(g, 1, congest.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statuses[0] != base.StatusInMIS {
+		t.Fatalf("lone vertex ended %v, must join", res.Statuses[0])
+	}
+}
+
+func TestFinishStar(t *testing.T) {
+	// A star has exactly two maximal independent sets: {hub} or all leaves.
+	g := gen.Star(33)
+	res, err := Finish(g, 1, congest.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis := base.MISSet(res.Statuses)
+	if err := g.VerifyMIS(mis); err != nil {
+		t.Fatal(err)
+	}
+	size := 0
+	for _, in := range mis {
+		if in {
+			size++
+		}
+	}
+	if size != 1 && size != g.N()-1 {
+		t.Fatalf("star MIS of size %d, want 1 or %d", size, g.N()-1)
+	}
+}
+
+func TestFinishForestOfPaths(t *testing.T) {
+	// Each path of l vertices needs at least ⌈l/3⌉ MIS members, and every
+	// component must be fully classified.
+	k, l := 6, 20
+	g := pathForest(k, l)
+	res, err := Finish(g, 1, congest.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyMIS(base.MISSet(res.Statuses)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		size := 0
+		for v := i * l; v < (i+1)*l; v++ {
+			if res.Statuses[v] == base.StatusInMIS {
+				size++
+			}
+		}
+		if min := (l + 2) / 3; size < min {
+			t.Fatalf("path %d has MIS size %d, maximality needs ≥ %d", i, size, min)
+		}
+	}
+}
+
 func TestFinishDeterministic(t *testing.T) {
 	g := gen.UnionOfTrees(120, 2, rng.New(4))
 	a, err := Finish(g, 2, congest.Options{Seed: 1})
