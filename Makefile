@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test race cover ci bench-engine bench bench-faults
+.PHONY: build test vet race cover ci bench-engine bench bench-faults bench-trace
 
 build:
 	go build ./...
@@ -9,16 +9,19 @@ build:
 test: build
 	go test ./...
 
+vet:
+	go vet ./...
+
 # Engine safety net: vet plus race-detector coverage of the CONGEST
 # drivers (the sharded worker pool and the legacy goroutine-per-vertex
 # driver are the only concurrent code in the repo).
 race:
 	go vet ./internal/congest/... && go test -race ./internal/congest/...
 
-# Coverage gate: the engine and the fault-injection subsystem are the
-# load-bearing packages; their statement coverage must stay at or above
-# the threshold.
-COVER_PKGS = repro/internal/faultsim repro/internal/congest
+# Coverage gate: the engine, the fault-injection subsystem, and the
+# execution-trace subsystem are the load-bearing packages; their statement
+# coverage must stay at or above the threshold.
+COVER_PKGS = repro/internal/faultsim repro/internal/congest repro/internal/trace
 COVER_MIN  = 60.0
 
 cover:
@@ -30,8 +33,9 @@ cover:
 		} \
 		END { exit bad }'
 
-# Full pre-merge gate: build + tests, race-detector pass, coverage floor.
-ci: test race cover
+# Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
+# repo-wide vet, race-detector pass, coverage floor.
+ci: test vet race cover
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
@@ -42,6 +46,12 @@ bench-engine:
 # fault intensity; rounds and coverage are the recorded trajectory).
 bench-faults:
 	go run ./cmd/bench -faults BENCH_faults.json
+
+# Refresh the seed-pinned tracing-overhead trajectory (E17: the ring
+# recorder must stay within 15% wall-clock overhead at n = 2^14 on the
+# pool driver; off / ring / JSONL are the recorded modes).
+bench-trace:
+	go run ./cmd/bench -trace-bench BENCH_trace.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

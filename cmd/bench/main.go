@@ -3,13 +3,18 @@
 // Usage:
 //
 //	bench [-quick] [-seeds N] [-seed S] [-only E1,E4,A2] [-parallel] [-workers W] [-format csv]
+//	bench [-trace run.jsonl] [-trace-format jsonl|chrome] ...
 //	bench -engine-bench BENCH_congest.json [-engine-n N] [-seed S]
 //	bench -faults BENCH_faults.json [-faults-n N] [-seeds K] [-seed S]
+//	bench -trace-bench BENCH_trace.json [-trace-n N] [-seed S]
 //
 // Each experiment prints its table and notes; the process exits non-zero if
 // any driver fails. With -parallel the runs use the sharded worker-pool
 // engine and a driver-efficiency summary (per-shard busy time, merge time,
-// parallel efficiency) is printed at the end.
+// parallel efficiency) is printed at the end. With -trace every engine run
+// the selected experiments spawn streams its execution-trace events to one
+// file — JSONL (replayable with cmd/traceview) or the Chrome trace-event
+// format (loadable in chrome://tracing).
 //
 // -engine-bench measures every engine driver (sequential, worker pool,
 // legacy goroutine-per-vertex) on a seed-pinned workload and writes the
@@ -20,6 +25,10 @@
 // against the fault-tolerant MIS on a seed-pinned workload and writes the
 // rounds/coverage trajectory as JSON; the run fails if any fault plan
 // produces an independence violation.
+//
+// -trace-bench measures the execution-tracing overhead (off / ring / JSONL)
+// on a seed-pinned workload and writes BENCH_trace.json, the E17 budget
+// check (ring ≤ 15% at n = 2^14 on the pool driver).
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -52,10 +62,27 @@ func run() int {
 	engineReps := flag.Int("engine-reps", 3, "runs per driver for -engine-bench (best wall time wins)")
 	faults := flag.String("faults", "", "write fault-tolerance sweep JSON to this file and exit")
 	faultsN := flag.Int("faults-n", 1<<10, "graph size for -faults")
+	tracePath := flag.String("trace", "", "stream every run's execution-trace events to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl|chrome")
+	traceBench := flag.String("trace-bench", "", "write tracing-overhead JSON to this file and exit")
+	traceN := flag.Int("trace-n", 1<<14, "graph size for -trace-bench")
+	traceReps := flag.Int("trace-reps", 5, "runs per mode for -trace-bench (best wall time wins)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: bench [flags]\n\nRegenerates the experiment tables of EXPERIMENTS.md.\n\nExperiments (-only):\n")
+		for _, d := range exp.All() {
+			fmt.Fprintf(out, "  %-4s %s\n", d.ID, d.Name)
+		}
+		fmt.Fprintf(out, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *engineBench != "" {
 		return runEngineBench(*engineBench, *engineN, *seed, *engineReps)
+	}
+	if *traceBench != "" {
+		return runTraceBench(*traceBench, *traceN, *seed, *traceReps)
 	}
 	if *faults != "" {
 		k := *seeds
@@ -77,6 +104,35 @@ func run() int {
 	}
 	if *parallel {
 		cfg.PoolStats = &congest.DriverStats{}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			sink := trace.NewJSONLSink(f)
+			defer func() {
+				if err := sink.Flush(); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				}
+			}()
+			cfg.Events = sink
+		case "chrome":
+			sink := trace.NewChromeSink(f)
+			defer func() {
+				if err := sink.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				}
+			}()
+			cfg.Events = sink
+		default:
+			fmt.Fprintf(os.Stderr, "trace: unknown format %q (want jsonl or chrome)\n", *traceFormat)
+			return 1
+		}
 	}
 
 	if *list {
@@ -150,6 +206,31 @@ func runEngineBench(path string, n int, seed uint64, reps int) int {
 		fmt.Printf("%-22s n=%d rounds=%d wall=%v rounds/s=%.0f msgs/s=%.0f\n",
 			d.Driver, report.N, d.Rounds, time.Duration(d.WallNS).Round(time.Microsecond),
 			d.RoundsPerSec, d.MessagesPerSec)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runTraceBench measures tracing overhead and writes BENCH_trace.json.
+func runTraceBench(path string, n int, seed uint64, reps int) int {
+	report, err := exp.RunTraceBench(n, seed, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: %v\n", err)
+		return 1
+	}
+	for _, m := range report.Modes {
+		fmt.Printf("%-6s n=%d wall=%v overhead=%+.1f%% events=%d\n",
+			m.Mode, report.N, time.Duration(m.WallNS).Round(time.Microsecond), m.OverheadPct, m.Events)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

@@ -41,6 +41,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Payload is the content of a message. Bits reports the payload's encoded
@@ -143,6 +144,26 @@ func (c *Context) enqueue(to int, p Payload) {
 // delivered, but the node receives no further Round calls.
 func (c *Context) Halt() { c.halted = true }
 
+// Emit records a program-defined node-state transition on the run's
+// execution trace (a trace.EvNodeState event with this vertex, the given
+// code, and the given value — by convention code is a mis/proto
+// announcement kind). It is a no-op when no trace sink is attached, so
+// programs can instrument transitions unconditionally. Emission order is
+// deterministic across drivers: events ride the same shard-ordered merge
+// as messages.
+func (c *Context) Emit(code int32, value int64) {
+	if !c.runner.traced {
+		return
+	}
+	c.shard.events = append(c.shard.events, trace.Event{
+		Type:  trace.EvNodeState,
+		Round: int32(c.round),
+		V:     int32(c.id),
+		X:     int64(code),
+		Y:     value,
+	})
+}
+
 func (c *Context) isNeighbor(w int) bool {
 	i := sort.SearchInts(c.neighbors, w)
 	return i < len(c.neighbors) && c.neighbors[i] == w
@@ -218,16 +239,40 @@ type Options struct {
 	// deliberately breaks the reliable-delivery assumption of CONGEST; it
 	// exists for robustness experiments only.
 	Faults faultsim.Plan
+	// Events, when non-nil, receives the run's typed execution-event
+	// stream (see internal/trace): round boundaries and counters, fault
+	// fates, node halts and program-emitted state transitions, and RNG
+	// draw totals. Emission happens on the coordinator in an order that is
+	// deterministic across drivers; tracing is purely observational and a
+	// traced run is bit-identical to an untraced one. Attach a
+	// trace.Recorder here to capture, export, or fingerprint a run.
+	Events trace.Sink
+	// EventTiming, when set alongside Events, adds the pool driver's
+	// wall-clock shard-sweep and merge timing events (advisory: they are
+	// real durations, not deterministic values).
+	EventTiming bool
+	// EventShardFlow, when set alongside Events, adds per-round message
+	// counts per (source shard, destination shard) pair (advisory: shard
+	// boundaries depend on the driver and worker count).
+	EventShardFlow bool
 	// Observer, when non-nil, is called after every completed round with
 	// the round number, the number of nodes still live after it, and the
 	// number of messages sent during it. Round 0 reports Init. It runs on
 	// the coordinator (never concurrently) and must not retain the engine.
+	//
+	// Deprecated: Observer predates the event bus and is kept as a
+	// bit-identical adapter over it (it fires on every trace.EvRoundEnd).
+	// New code should attach a trace.Sink via Events instead.
 	Observer func(round, live int, sent int64)
 	// PoolObserver, when non-nil, receives per-round driver-efficiency
 	// metrics (per-shard busy time, merge time, live-node histogram) from
 	// the pool driver. It runs on the coordinator; the metric's slices are
 	// reused between rounds and must not be retained. The sequential and
 	// legacy drivers never call it.
+	//
+	// Deprecated: PoolObserver predates the event bus and is kept as an
+	// adapter over its timing events (trace.EvShardBusy / trace.EvMerge).
+	// New code should set Events with EventTiming instead.
 	PoolObserver func(m PoolRoundMetrics)
 }
 
@@ -275,10 +320,11 @@ var ErrMaxRounds = errors.New("congest: max rounds exceeded before all nodes hal
 // Runner executes a program over a graph. Construct with NewRunner; a
 // Runner is single-use (Run may be called once).
 type Runner struct {
-	g     *graph.Graph
-	nodes []Node
-	opts  Options
-	ran   bool
+	g      *graph.Graph
+	nodes  []Node
+	opts   Options
+	ran    bool
+	traced bool // full event stream wanted; set before workers start, read-only after
 }
 
 // NewRunner builds a runner for the given graph. factory(v) must return the
@@ -323,7 +369,8 @@ func (r *Runner) Run() (Result, error) {
 type shard struct {
 	live   []int
 	outbox []addressed
-	busy   int64 // sweep duration in nanoseconds, when timing is on
+	events []trace.Event // program/halt events buffered during the sweep
+	busy   int64         // sweep duration in nanoseconds, when timing is on
 }
 
 // execState is the driver-independent bookkeeping for a run.
@@ -337,7 +384,19 @@ type execState struct {
 	faults   *rng.RNG            // coordinator-owned fault stream
 	delayed  map[int][]addressed // in-flight messages keyed by consumption round
 	sent     int64               // messages handed to delivery, any fate
-	observed int64               // sends already reported to the observer
+	observed int64               // sends already reported on the bus
+
+	// Event-bus state (see events.go). bus is nil when nothing listens;
+	// full means a real sink (Options.Events) wants the rich stream, not
+	// just the deprecated adapters.
+	bus            trace.Sink
+	full           bool
+	flow           map[uint64]int64 // per-round (srcShard,dstShard) sends
+	vshard         []int32          // vertex -> shard, for flow attribution
+	lastDelivered  int64            // round-delta trackers for EvRoundEnd/EvRNG
+	lastDropped    int64
+	lastDraws      uint64
+	lastFaultDraws uint64
 }
 
 // effectivePlan resolves the run's fault model: the legacy DropProb knob
@@ -377,11 +436,20 @@ func (r *Runner) newExecState(numShards int) *execState {
 	if st.plan != nil {
 		st.faults = root.Split(^uint64(0))
 	}
+	st.bus, st.full = r.opts.eventBus()
+	r.traced = st.full
+	if st.full && r.opts.EventShardFlow {
+		st.flow = make(map[uint64]int64)
+		st.vshard = make([]int32, n)
+	}
 	for s := range st.shards {
 		lo, hi := s*n/numShards, (s+1)*n/numShards
 		sh := &shard{live: make([]int, 0, hi-lo)}
 		for v := lo; v < hi; v++ {
 			sh.live = append(sh.live, v)
+			if st.vshard != nil {
+				st.vshard[v] = int32(s)
+			}
 			st.ctxs[v] = &Context{
 				id:        v,
 				n:         n,
@@ -424,6 +492,10 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 		}
 		if !ctx.halted {
 			live = append(live, v)
+		} else if r.traced {
+			sh.events = append(sh.events, trace.Event{
+				Type: trace.EvHalt, Round: int32(round), V: int32(v),
+			})
 		}
 	}
 	sh.live = live
@@ -451,6 +523,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 			return ctx.err
 		}
 	}
+	st.drainShardEvents()
 	for v := range st.inboxes {
 		st.inboxes[v] = st.inboxes[v][:0]
 	}
@@ -461,13 +534,22 @@ func (r *Runner) deliver(st *execState, round int) error {
 		}
 		delete(st.delayed, consume)
 	}
-	for _, sh := range st.shards {
+	for s, sh := range st.shards {
 		for _, a := range sh.outbox {
 			st.sent++
+			if st.flow != nil {
+				st.noteFlow(int32(s), a.to)
+			}
 			if st.plan != nil {
 				fate := st.plan.Message(round, a.msg.From, a.to, st.faults)
 				if fate.Drop {
 					st.res.Dropped++
+					if st.full {
+						st.bus.Emit(trace.Event{
+							Type: trace.EvDrop, Round: int32(round),
+							V: int32(a.msg.From), W: int32(a.to),
+						})
+					}
 					continue
 				}
 				if fate.Delay > 0 {
@@ -477,12 +559,21 @@ func (r *Runner) deliver(st *execState, round int) error {
 					at := consume + fate.Delay
 					st.delayed[at] = append(st.delayed[at], a)
 					st.res.Delayed++
+					if st.full {
+						st.bus.Emit(trace.Event{
+							Type: trace.EvDelay, Round: int32(round),
+							V: int32(a.msg.From), W: int32(a.to), X: int64(fate.Delay),
+						})
+					}
 					continue
 				}
 			}
 			st.admit(a, consume)
 		}
 		sh.outbox = sh.outbox[:0]
+	}
+	if st.flow != nil {
+		st.emitFlow(round)
 	}
 	return nil
 }
@@ -493,6 +584,14 @@ func (r *Runner) deliver(st *execState, round int) error {
 func (st *execState) admit(a addressed, consume int) {
 	if st.plan != nil && st.plan.Vertex(consume, a.to) != faultsim.VertexUp {
 		st.res.Dropped++
+		if st.full {
+			// consume-1 is the round being delivered: event rounds stay
+			// nondecreasing within the stream, which Bisect relies on.
+			st.bus.Emit(trace.Event{
+				Type: trace.EvDrop, Round: int32(consume - 1),
+				V: int32(a.msg.From), W: int32(a.to), X: 1,
+			})
+		}
 		return
 	}
 	st.inboxes[a.to] = append(st.inboxes[a.to], a.msg)
@@ -513,50 +612,43 @@ func (st *execState) refreshLive() {
 	st.live = live
 }
 
-// observe reports one completed round to the configured observer. Sends
-// are counted once, in their send round, whatever fate the fault plan
-// assigned them.
-func (r *Runner) observe(st *execState, round int) {
-	if r.opts.Observer == nil {
-		return
-	}
-	sent := st.sent - st.observed
-	st.observed = st.sent
-	r.opts.Observer(round, st.live, sent)
-}
-
 // runLoop is the coordinator shared by every driver: sweep round 0 (Init),
 // then rounds 1, 2, ... until every node has halted. sweep(round) must run
 // every live node once; afterRound, when non-nil, runs after each
-// successfully delivered round (the pool driver emits metrics there).
+// successfully delivered round, before the round-end event (the pool
+// driver publishes its timing events there). Round reporting — the
+// deprecated Observer/PoolObserver callbacks included — rides the event
+// bus: startRound/endRound bracket each round on it.
 //
 // Result.Rounds is committed only after a round's delivery succeeds, so a
 // run aborted by a mid-round model violation reports the last *completed*
 // round, not the one that failed.
 func (r *Runner) runLoop(st *execState, sweep func(round int), afterRound func(round int)) (Result, error) {
+	r.startRound(st, 0)
 	sweep(0)
 	if err := r.deliver(st, 0); err != nil {
 		return st.res, err
 	}
 	st.refreshLive()
-	r.observe(st, 0)
 	if afterRound != nil {
 		afterRound(0)
 	}
+	r.endRound(st, 0)
 	for round := 1; st.live > 0; round++ {
 		if round > r.opts.MaxRounds {
 			return st.res, fmt.Errorf("%w (limit %d, %d nodes live)", ErrMaxRounds, r.opts.MaxRounds, st.live)
 		}
+		r.startRound(st, round)
 		sweep(round)
 		if err := r.deliver(st, round); err != nil {
 			return st.res, err
 		}
 		st.res.Rounds = round
 		st.refreshLive()
-		r.observe(st, round)
 		if afterRound != nil {
 			afterRound(round)
 		}
+		r.endRound(st, round)
 	}
 	return st.res, nil
 }

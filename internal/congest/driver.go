@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // PoolRoundMetrics is one round of driver-efficiency telemetry from the
@@ -53,7 +55,7 @@ func (r *Runner) runPool() (Result, error) {
 	if n == 0 {
 		return r.runLoop(st, func(int) {}, nil)
 	}
-	timed := r.opts.PoolObserver != nil
+	timed := r.opts.timingWanted()
 
 	starts := make([]chan int, workers)
 	done := make(chan struct{}, workers)
@@ -98,13 +100,11 @@ func (r *Runner) runPool() (Result, error) {
 		return r.runLoop(st, sweep, nil)
 	}
 
-	// Metrics plumbing: wrap deliver timing around the coordinator's
-	// merge and emit one PoolRoundMetrics per round. Buffers are reused;
-	// the observer contract forbids retaining them.
-	m := PoolRoundMetrics{
-		Live: make([]int, workers),
-		Busy: make([]time.Duration, workers),
-	}
+	// Timing plumbing: wrap deliver timing around the coordinator's merge
+	// and publish one shard-busy event per shard plus the merge duration
+	// on the event bus, ahead of the round-end record. The deprecated
+	// PoolObserver adapter reassembles PoolRoundMetrics from exactly these
+	// events, so its callers see the same per-round numbers as before.
 	var mergeStart time.Time
 	timedSweep := func(round int) {
 		sweep(round)
@@ -112,13 +112,16 @@ func (r *Runner) runPool() (Result, error) {
 	}
 	afterRound := func(round int) {
 		merge := time.Since(mergeStart)
-		m.Round = round
-		m.Merge = merge
 		for s, sh := range st.shards {
-			m.Live[s] = len(sh.live)
-			m.Busy[s] = time.Duration(sh.busy)
+			st.bus.Emit(trace.Event{
+				Type:  trace.EvShardBusy,
+				Round: int32(round),
+				V:     int32(s),
+				X:     sh.busy,
+				Y:     int64(len(sh.live)),
+			})
 		}
-		r.opts.PoolObserver(m)
+		st.bus.Emit(trace.Event{Type: trace.EvMerge, Round: int32(round), X: int64(merge)})
 	}
 	return r.runLoop(st, timedSweep, afterRound)
 }

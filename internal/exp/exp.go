@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config controls sweep sizes and reproducibility.
@@ -36,6 +37,10 @@ type Config struct {
 	// driver's per-round efficiency metrics across every run the config
 	// spawns (cmd/bench -parallel reports the aggregate).
 	PoolStats *congest.DriverStats
+	// Events, when non-nil, receives the execution-trace event stream of
+	// every run the config spawns (cmd/bench -trace streams them all to
+	// one JSONL or Chrome file).
+	Events trace.Sink
 }
 
 // DefaultConfig returns the full-size configuration used by cmd/bench.
@@ -65,6 +70,7 @@ func (c Config) opts(label uint64, i int) congest.Options {
 	if c.Parallel && c.PoolStats != nil {
 		o.PoolObserver = c.PoolStats.Observe
 	}
+	o.Events = c.Events
 	return o
 }
 
@@ -120,6 +126,7 @@ func All() []Driver {
 		{ID: "E14", Name: "round-decay", Run: E14RoundDecay},
 		{ID: "E15", Name: "maximal-matching", Run: E15Matching},
 		{ID: "E16", Name: "fault-tolerance", Run: E16FaultTolerance},
+		{ID: "E17", Name: "trace-overhead", Run: E17TraceOverhead},
 		{ID: "A1", Name: "rho-opt-out", Run: A1RhoOptOut},
 		{ID: "A2", Name: "param-profiles", Run: A2ParamProfiles},
 		{ID: "A3", Name: "scale-sensitivity", Run: A3ScaleSensitivity},

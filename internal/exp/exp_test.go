@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/congest"
+	"repro/internal/trace"
 )
 
 func TestAllDriversRunQuick(t *testing.T) {
@@ -44,8 +45,8 @@ func TestDriverIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("driver %s incomplete", d.ID)
 		}
 	}
-	if len(seen) != 21 {
-		t.Fatalf("expected 21 drivers, got %d", len(seen))
+	if len(seen) != 22 {
+		t.Fatalf("expected 22 drivers, got %d", len(seen))
 	}
 }
 
@@ -112,6 +113,48 @@ func TestRunEngineBench(t *testing.T) {
 	}
 	if rep.N != 256 || rep.Seed != 3 || rep.Algorithm == "" || rep.GoMaxProcs < 1 {
 		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+}
+
+// TestRunTraceBench covers the BENCH_trace.json producer: all three
+// tracing modes measured on identical work, with identical counters and
+// identical fingerprints across the traced modes.
+func TestRunTraceBench(t *testing.T) {
+	rep, err := RunTraceBench(256, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 256 || rep.Seed != 3 || rep.Algorithm != "metivier" || rep.Driver != "pool" {
+		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+	if len(rep.Modes) != 3 {
+		t.Fatalf("expected 3 modes, got %d", len(rep.Modes))
+	}
+	off, ring, jsonl := rep.Modes[0], rep.Modes[1], rep.Modes[2]
+	if off.Mode != "off" || ring.Mode != "ring" || jsonl.Mode != "jsonl" {
+		t.Fatalf("mode order wrong: %+v", rep.Modes)
+	}
+	if off.Events != 0 || off.Fingerprint != "" || off.OverheadPct != 0 {
+		t.Fatalf("off baseline carries trace data: %+v", off)
+	}
+	for _, m := range rep.Modes {
+		if m.WallNS <= 0 || m.Rounds != off.Rounds || m.Messages != off.Messages {
+			t.Fatalf("mode %s: bad entry %+v", m.Mode, m)
+		}
+	}
+	if ring.Events == 0 || ring.Events != jsonl.Events || ring.Fingerprint != jsonl.Fingerprint {
+		t.Fatalf("traced modes disagree: ring %+v, jsonl %+v", ring, jsonl)
+	}
+}
+
+func TestOptsWireEvents(t *testing.T) {
+	mem := &trace.MemorySink{}
+	c := Config{Seed: 1, Events: mem}
+	if o := c.opts(1, 0); o.Events != trace.Sink(mem) {
+		t.Fatal("events sink not plumbed through opts")
+	}
+	if o := (Config{Seed: 1}).opts(1, 0); o.Events != nil {
+		t.Fatal("sink appeared from nowhere")
 	}
 }
 

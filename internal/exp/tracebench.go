@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/mis/metivier"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceBenchEntry is one tracing mode's cost measurement in a trace
+// overhead run (the BENCH_trace.json schema).
+type TraceBenchEntry struct {
+	// Mode names the tracing configuration: "off", "ring", "jsonl".
+	Mode string `json:"mode"`
+	// WallNS is the best-of-reps wall time for one full run.
+	WallNS int64 `json:"wall_ns"`
+	// OverheadPct is (WallNS/off.WallNS - 1) × 100; zero for the baseline.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Events is the number of trace events the run emitted (0 when off).
+	Events uint64 `json:"events"`
+	// Fingerprint is the deterministic-stream fingerprint (0 when off);
+	// identical for every traced mode of the same workload by construction.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Rounds and Messages are the run's CONGEST counters, identical across
+	// modes (tracing is observational).
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+}
+
+// TraceBenchReport is the seed-pinned tracing-cost trajectory that
+// cmd/bench -trace-bench writes to BENCH_trace.json, so successive PRs can
+// check the ring sink stays within its overhead budget on identical work.
+type TraceBenchReport struct {
+	Algorithm  string            `json:"algorithm"`
+	Graph      string            `json:"graph"`
+	N          int               `json:"n"`
+	Seed       uint64            `json:"seed"`
+	Reps       int               `json:"reps"`
+	Driver     string            `json:"driver"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Modes      []TraceBenchEntry `json:"modes"`
+}
+
+// RunTraceBench measures tracing overhead on one pinned workload: Métivier
+// MIS on UnionOfTrees(n, 2) under the pool driver, best wall time of reps
+// runs per mode. Modes: "off" (no sink), "ring" (Recorder only), "jsonl"
+// (Recorder streaming to a temp file, deleted afterwards). The run
+// counters must agree across modes and the traced modes must agree on the
+// deterministic fingerprint — a mismatch is an error, so the benchmark
+// doubles as a tracing-is-observational check.
+func RunTraceBench(n int, seed uint64, reps int) (*TraceBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	g := gen.UnionOfTrees(n, 2, rng.New(seed))
+	report := &TraceBenchReport{
+		Algorithm:  "metivier",
+		Graph:      "union-of-trees(alpha=2)",
+		N:          n,
+		Seed:       seed,
+		Reps:       reps,
+		Driver:     congest.DriverPool.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	modes := []string{"off", "ring", "jsonl"}
+	var ref *congest.Result
+	var refFP uint64
+	for _, mode := range modes {
+		entry := TraceBenchEntry{Mode: mode}
+		var best time.Duration
+		for rep := 0; rep < reps; rep++ {
+			opts := congest.Options{Seed: seed, Driver: congest.DriverPool}
+			var rec *trace.Recorder
+			var jsonl *trace.JSONLSink
+			var tmp *os.File
+			switch mode {
+			case "ring":
+				rec = trace.NewRecorder(0)
+				opts.Events = rec
+			case "jsonl":
+				f, err := os.CreateTemp("", "trace-bench-*.jsonl")
+				if err != nil {
+					return nil, fmt.Errorf("trace bench: %w", err)
+				}
+				tmp = f
+				jsonl = trace.NewJSONLSink(f)
+				rec = trace.NewRecorder(0, jsonl)
+				opts.Events = rec
+			}
+			start := time.Now()
+			_, res, err := metivier.Run(g, opts)
+			if err == nil && jsonl != nil {
+				err = jsonl.Flush()
+			}
+			wall := time.Since(start)
+			if tmp != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace bench: mode %s: %w", mode, err)
+			}
+			if ref == nil {
+				r := res
+				ref = &r
+			} else if res != *ref {
+				return nil, fmt.Errorf("trace bench: mode %s perturbed the run: %+v != %+v", mode, res, *ref)
+			}
+			if rec != nil {
+				if refFP == 0 {
+					refFP = rec.Fingerprint()
+				} else if rec.Fingerprint() != refFP {
+					return nil, fmt.Errorf("trace bench: mode %s fingerprint %#x != %#x", mode, rec.Fingerprint(), refFP)
+				}
+				entry.Events = rec.Total()
+				entry.Fingerprint = fmt.Sprintf("%#x", rec.Fingerprint())
+			}
+			if rep == 0 || wall < best {
+				best = wall
+			}
+			entry.Rounds, entry.Messages = res.Rounds, res.Messages
+		}
+		entry.WallNS = int64(best)
+		if len(report.Modes) > 0 && report.Modes[0].WallNS > 0 {
+			entry.OverheadPct = (float64(entry.WallNS)/float64(report.Modes[0].WallNS) - 1) * 100
+		}
+		report.Modes = append(report.Modes, entry)
+	}
+	return report, nil
+}
+
+// E17TraceOverhead measures the cost of the execution-trace subsystem
+// (DESIGN.md S24): the same pinned workload with tracing off, with the
+// in-memory ring recorder, and with JSONL streaming. The acceptance budget
+// is ring ≤ 15% wall-clock overhead at n = 2^14 on the pool driver; the
+// quick configuration shrinks n but checks the same shape.
+func E17TraceOverhead(c Config) (*Report, error) {
+	n := 1 << 14
+	reps := 5
+	if c.Quick {
+		n = 1 << 9
+		reps = 1
+	}
+	seed := rng.New(c.Seed).Split(0xE17).Uint64()
+	bench, err := RunTraceBench(n, seed, reps)
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable(fmt.Sprintf("Tracing overhead — metivier, n=%d, pool driver, best of %d", n, reps),
+		"mode", "wall ms", "overhead %", "events", "rounds")
+	for _, m := range bench.Modes {
+		table.AddRow(m.Mode, float64(m.WallNS)/1e6, m.OverheadPct, int(m.Events), m.Rounds)
+	}
+	rep := &Report{
+		ID:    "E17",
+		Title: "execution tracing is cheap: ring recording within its 15% overhead budget",
+		Table: table,
+	}
+	ring := bench.Modes[1]
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"ring overhead %.1f%% (budget 15%%), jsonl %.1f%%; %d events, fingerprint %s identical across traced modes",
+		ring.OverheadPct, bench.Modes[2].OverheadPct, ring.Events, ring.Fingerprint))
+	return rep, nil
+}

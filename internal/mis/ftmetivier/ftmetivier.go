@@ -129,6 +129,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 				// A neighbor is in the MIS: we are dominated, whenever we
 				// learn it.
 				nd.status = base.StatusDominated
+				ctx.Emit(int32(proto.KindRemoved), int64(nd.epoch))
 				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
 				ctx.Halt()
 				return
@@ -141,6 +142,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	case 1: // evaluation phase: do I hold positive evidence of winning?
 		if nd.wins(ctx.ID()) {
 			nd.status = base.StatusInMIS
+			ctx.Emit(int32(proto.KindJoined), int64(nd.epoch))
 			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
 			ctx.Halt()
 		}

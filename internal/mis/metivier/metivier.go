@@ -66,6 +66,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	case 1: // phase 1: priorities arrived; am I the local maximum?
 		if nd.winsAgainst(ctx.ID(), inbox) {
 			nd.status = base.StatusInMIS
+			ctx.Emit(int32(proto.KindJoined), int64(ctx.Round()/3))
 			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
 			ctx.Halt()
 		}
@@ -73,6 +74,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		for _, m := range inbox {
 			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
+				ctx.Emit(int32(proto.KindRemoved), int64(ctx.Round()/3))
 				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
 				ctx.Halt()
 				return

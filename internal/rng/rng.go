@@ -22,6 +22,7 @@ const golden = 0x9e3779b97f4a7c15
 // via Split.
 type RNG struct {
 	state uint64
+	draws uint64
 }
 
 // New returns a generator seeded with seed.
@@ -40,12 +41,21 @@ func mix(z uint64) uint64 {
 
 // Uint64 returns the next value in the stream.
 func (r *RNG) Uint64() uint64 {
+	r.draws++
 	r.state += golden
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// Draws returns the number of Uint64 calls this stream has served,
+// including calls made internally by the derived samplers (Intn, Float64,
+// Perm, ...). Draws is a pure observation — reading it does not advance the
+// stream — and child streams created by Split start at zero. The execution
+// tracer records per-round draw totals from it, so two runs that disagree
+// anywhere in their randomness disagree in their traces too.
+func (r *RNG) Draws() uint64 { return r.draws }
 
 // Split derives a new generator from this one, labeled by label. Two splits
 // of the same parent state with different labels yield independent streams,
