@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test vet race cover ci bench-engine bench bench-faults bench-trace
+.PHONY: build test vet race cover alloc-gate ci bench-engine bench bench-faults bench-trace bench-alloc
 
 build:
 	go build ./...
@@ -33,9 +33,16 @@ cover:
 		} \
 		END { exit bad }'
 
+# Allocation gate: a steady-state sequential round (n = 1024 ring,
+# every node broadcasting) must perform zero heap allocations — the
+# invariant the value-typed wire payloads and the flat inbox arena exist
+# to provide. Fast (< 1s); runs in ci.
+alloc-gate:
+	go test -run '^TestSteadyStateRound' -count=1 ./internal/congest/
+
 # Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
-# repo-wide vet, race-detector pass, coverage floor.
-ci: test vet race cover
+# repo-wide vet, race-detector pass, coverage floor, allocation gate.
+ci: test vet race cover alloc-gate
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
@@ -52,6 +59,13 @@ bench-faults:
 # pool driver; off / ring / JSONL are the recorded modes).
 bench-trace:
 	go run ./cmd/bench -trace-bench BENCH_trace.json
+
+# Refresh the seed-pinned allocation trajectory (E18: allocations and
+# bytes per run, allocations per message, messages/sec per driver at
+# n = 2^14, with the sequential speedup over the PR-1 BENCH_congest.json
+# baseline embedded in the artifact).
+bench-alloc:
+	go run ./cmd/bench -alloc-bench BENCH_alloc.json -alloc-baseline BENCH_congest.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

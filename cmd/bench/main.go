@@ -7,6 +7,8 @@
 //	bench -engine-bench BENCH_congest.json [-engine-n N] [-seed S]
 //	bench -faults BENCH_faults.json [-faults-n N] [-seeds K] [-seed S]
 //	bench -trace-bench BENCH_trace.json [-trace-n N] [-seed S]
+//	bench -alloc-bench BENCH_alloc.json [-alloc-n N] [-alloc-baseline BENCH_congest.json] [-seed S]
+//	bench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] ...
 //
 // Each experiment prints its table and notes; the process exits non-zero if
 // any driver fails. With -parallel the runs use the sharded worker-pool
@@ -29,6 +31,18 @@
 // -trace-bench measures the execution-tracing overhead (off / ring / JSONL)
 // on a seed-pinned workload and writes BENCH_trace.json, the E17 budget
 // check (ring ≤ 15% at n = 2^14 on the pool driver).
+//
+// -alloc-bench measures every driver's heap-allocation profile (allocations
+// and bytes per run, allocations per message) plus throughput on the same
+// seed-pinned workload as -engine-bench, and writes BENCH_alloc.json, the
+// E18 zero-allocation message-path check. -alloc-baseline points at an
+// earlier BENCH_congest.json whose sequential messages/sec becomes the
+// embedded speedup baseline.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever work
+// the invocation did (experiments or one of the bench modes); inspect them
+// with `go tool pprof`. The memory profile is written at exit with an
+// up-to-date heap picture (runtime.GC precedes the write).
 package main
 
 import (
@@ -36,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -67,6 +83,12 @@ func run() int {
 	traceBench := flag.String("trace-bench", "", "write tracing-overhead JSON to this file and exit")
 	traceN := flag.Int("trace-n", 1<<14, "graph size for -trace-bench")
 	traceReps := flag.Int("trace-reps", 5, "runs per mode for -trace-bench (best wall time wins)")
+	allocBench := flag.String("alloc-bench", "", "write allocation-profile JSON to this file and exit")
+	allocN := flag.Int("alloc-n", 1<<14, "graph size for -alloc-bench")
+	allocReps := flag.Int("alloc-reps", 5, "runs per driver for -alloc-bench (best wall time / min allocs win)")
+	allocBaseline := flag.String("alloc-baseline", "", "BENCH_congest.json whose sequential msgs/s is the -alloc-bench speedup baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the invocation to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "Usage: bench [flags]\n\nRegenerates the experiment tables of EXPERIMENTS.md.\n\nExperiments (-only):\n")
@@ -78,11 +100,45 @@ func run() int {
 	}
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize an up-to-date heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *engineBench != "" {
 		return runEngineBench(*engineBench, *engineN, *seed, *engineReps)
 	}
 	if *traceBench != "" {
 		return runTraceBench(*traceBench, *traceN, *seed, *traceReps)
+	}
+	if *allocBench != "" {
+		return runAllocBench(*allocBench, *allocN, *seed, *allocReps, *allocBaseline)
 	}
 	if *faults != "" {
 		k := *seeds
@@ -231,6 +287,60 @@ func runTraceBench(path string, n int, seed uint64, reps int) int {
 	for _, m := range report.Modes {
 		fmt.Printf("%-6s n=%d wall=%v overhead=%+.1f%% events=%d\n",
 			m.Mode, report.N, time.Duration(m.WallNS).Round(time.Microsecond), m.OverheadPct, m.Events)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runAllocBench measures every driver's allocation profile and writes
+// BENCH_alloc.json. baselinePath, when set, names an earlier
+// BENCH_congest.json whose sequential messages/sec seeds the speedup field.
+func runAllocBench(path string, n int, seed uint64, reps int, baselinePath string) int {
+	baseline := 0.0
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloc bench: baseline: %v\n", err)
+			return 1
+		}
+		var prior exp.EngineBenchReport
+		if err := json.Unmarshal(data, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "alloc bench: baseline: %v\n", err)
+			return 1
+		}
+		for _, d := range prior.Drivers {
+			if d.Driver == congest.DriverSequential.String() {
+				baseline = d.MessagesPerSec
+			}
+		}
+		if baseline == 0 {
+			fmt.Fprintf(os.Stderr, "alloc bench: baseline %s has no sequential entry\n", baselinePath)
+			return 1
+		}
+	}
+	report, err := exp.RunAllocBench(n, seed, reps, baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloc bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloc bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "alloc bench: %v\n", err)
+		return 1
+	}
+	for _, d := range report.Drivers {
+		fmt.Printf("%-22s n=%d wall=%v msgs/s=%.0f allocs/run=%d B/run=%d allocs/msg=%.4f\n",
+			d.Driver, report.N, time.Duration(d.WallNS).Round(time.Microsecond),
+			d.MessagesPerSec, d.AllocsPerRun, d.BytesPerRun, d.AllocsPerMessage)
+	}
+	if report.SequentialSpeedup > 0 {
+		fmt.Printf("sequential speedup vs baseline (%.0f msgs/s): %.2fx\n",
+			report.BaselineMessagesPerSec, report.SequentialSpeedup)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

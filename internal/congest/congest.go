@@ -44,17 +44,12 @@ import (
 	"repro/internal/trace"
 )
 
-// Payload is the content of a message. Bits reports the payload's encoded
-// size in bits so the engine can audit CONGEST compliance; implementations
-// must return a positive constant or ID-length-bounded value.
-type Payload interface {
-	Bits() int
-}
-
-// Message is a payload annotated with its sender's vertex ID.
+// Message is a wire payload annotated with its sender's vertex ID. It is
+// a plain value (no pointers): messages move from shard outboxes into the
+// round's inbox arena by value copy, with zero heap traffic.
 type Message struct {
-	From    int
-	Payload Payload
+	From int
+	Wire Wire
 }
 
 // Node is one vertex's state machine. Init runs before round 1 and may
@@ -77,7 +72,6 @@ type Context struct {
 	halted    bool
 	shard     *shard
 	runner    *Runner
-	err       error
 }
 
 type addressed struct {
@@ -111,19 +105,49 @@ func (c *Context) RNG() *rng.RNG { return c.rng }
 
 // Send queues a message to neighbor `to` for delivery next round. Sending
 // to a non-neighbor is a programming error and poisons the run with an
-// error (the model has no routing).
-func (c *Context) Send(to int, p Payload) {
+// error (the model has no routing). Send pays a binary search over the
+// neighbor list to validate `to`; hot paths that already know the
+// neighbor's position should use SendSlot instead.
+func (c *Context) Send(to int, w Wire) {
 	if !c.isNeighbor(to) {
-		c.err = fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to)
+		c.fail(fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to))
 		return
 	}
-	c.enqueue(to, p)
+	c.enqueue(to, w)
 }
 
-// Broadcast queues a message to every neighbor for delivery next round.
-func (c *Context) Broadcast(p Payload) {
-	for _, w := range c.neighbors {
-		c.enqueue(w, p)
+// SendSlot queues a message to the i'th neighbor (Neighbors()[i]) for
+// delivery next round. It addresses the neighbor by its slot in the
+// adjacency list, so no neighbor-membership search is needed — this is the
+// zero-overhead send for programs that iterate Neighbors() anyway. A slot
+// outside [0, Degree()) poisons the run.
+func (c *Context) SendSlot(i int, w Wire) {
+	if uint(i) >= uint(len(c.neighbors)) {
+		c.fail(fmt.Errorf("congest: node %d sent to neighbor slot %d of %d", c.id, i, len(c.neighbors)))
+		return
+	}
+	c.enqueue(c.neighbors[i], w)
+}
+
+// Broadcast queues a message to every neighbor for delivery next round,
+// walking the adjacency list directly (no membership checks).
+func (c *Context) Broadcast(w Wire) {
+	for _, v := range c.neighbors {
+		c.enqueue(v, w)
+	}
+}
+
+// BroadcastWire is Broadcast under the name the slot-addressed API family
+// uses; both walk the neighbor slots directly.
+func (c *Context) BroadcastWire(w Wire) { c.Broadcast(w) }
+
+// fail records the first model violation observed in this context's shard.
+// Nodes within a shard are swept in ascending ID order and shards cover
+// ascending contiguous ID ranges, so the surviving error is the lowest
+// erring vertex's under every driver.
+func (c *Context) fail(err error) {
+	if c.shard.err == nil {
+		c.shard.err = err
 	}
 }
 
@@ -131,13 +155,13 @@ func (c *Context) Broadcast(p Payload) {
 // the shard runs this node, so the append is race-free, and because nodes
 // within a shard are swept in ID order the shard outbox stays sorted by
 // sender with per-sender append order preserved.
-func (c *Context) enqueue(to int, p Payload) {
-	if c.runner.opts.MessageBitLimit > 0 && p.Bits() > c.runner.opts.MessageBitLimit {
-		c.err = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d",
-			c.id, p.Bits(), c.runner.opts.MessageBitLimit)
+func (c *Context) enqueue(to int, w Wire) {
+	if c.runner.opts.MessageBitLimit > 0 && int(w.Bits) > c.runner.opts.MessageBitLimit {
+		c.fail(fmt.Errorf("congest: node %d message of %d bits exceeds limit %d",
+			c.id, w.Bits, c.runner.opts.MessageBitLimit))
 		return
 	}
-	c.shard.outbox = append(c.shard.outbox, addressed{to: to, msg: Message{From: c.id, Payload: p}})
+	c.shard.outbox = append(c.shard.outbox, addressed{to: to, msg: Message{From: c.id, Wire: w}})
 }
 
 // Halt marks this node finished. Messages queued in the same call are still
@@ -370,21 +394,33 @@ type shard struct {
 	live   []int
 	outbox []addressed
 	events []trace.Event // program/halt events buffered during the sweep
+	err    error         // first model violation by a node of this shard
 	busy   int64         // sweep duration in nanoseconds, when timing is on
 }
 
 // execState is the driver-independent bookkeeping for a run.
 type execState struct {
-	ctxs     []*Context
-	inboxes  [][]Message
-	shards   []*shard
-	live     int
-	res      Result
-	plan     faultsim.Plan       // effective fault plan (nil = reliable network)
-	faults   *rng.RNG            // coordinator-owned fault stream
-	delayed  map[int][]addressed // in-flight messages keyed by consumption round
-	sent     int64               // messages handed to delivery, any fate
-	observed int64               // sends already reported on the bus
+	ctxs   []Context
+	shards []*shard
+
+	// The flat inbox arena: one contiguous backing store for all of the
+	// round's inboxes, sized by a counting pass over the shard outboxes
+	// and reused across rounds (it only grows, so steady-state rounds
+	// allocate nothing). Vertex v's inbox is arena[inboxOff[v] :
+	// inboxOff[v]+inboxLen[v]] — inboxes are laid out in ascending vertex
+	// order, so the sweep reads the arena sequentially.
+	arena    []Message
+	inboxOff []int // vertex -> arena offset of its inbox
+	inboxLen []int // vertex -> messages delivered this round (write cursor)
+
+	live      int
+	res       Result
+	plan      faultsim.Plan       // effective fault plan (nil = reliable network)
+	faults    *rng.RNG            // coordinator-owned fault stream
+	delayed   map[int][]addressed // in-flight messages keyed by consumption round
+	delayFree [][]addressed       // drained delay buckets, kept for reuse
+	sent      int64               // messages handed to delivery, any fate
+	observed  int64               // sends already reported on the bus
 
 	// Event-bus state (see events.go). bus is nil when nothing listens;
 	// full means a real sink (Options.Events) wants the rich stream, not
@@ -427,11 +463,12 @@ func (r *Runner) newExecState(numShards int) *execState {
 		numShards = 1
 	}
 	st := &execState{
-		ctxs:    make([]*Context, n),
-		inboxes: make([][]Message, n),
-		shards:  make([]*shard, numShards),
-		live:    n,
-		plan:    r.opts.effectivePlan(),
+		ctxs:     make([]Context, n),
+		inboxOff: make([]int, n),
+		inboxLen: make([]int, n),
+		shards:   make([]*shard, numShards),
+		live:     n,
+		plan:     r.opts.effectivePlan(),
 	}
 	if st.plan != nil {
 		st.faults = root.Split(^uint64(0))
@@ -450,7 +487,7 @@ func (r *Runner) newExecState(numShards int) *execState {
 			if st.vshard != nil {
 				st.vshard[v] = int32(s)
 			}
-			st.ctxs[v] = &Context{
+			st.ctxs[v] = Context{
 				id:        v,
 				n:         n,
 				neighbors: r.g.Neighbors(v),
@@ -483,12 +520,12 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 				continue
 			}
 		}
-		ctx := st.ctxs[v]
+		ctx := &st.ctxs[v]
 		ctx.round = round
 		if round == 0 {
 			r.nodes[v].Init(ctx)
 		} else {
-			r.nodes[v].Round(ctx, st.inboxes[v])
+			r.nodes[v].Round(ctx, st.inbox(v))
 		}
 		if !ctx.halted {
 			live = append(live, v)
@@ -501,40 +538,95 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 	sh.live = live
 }
 
+// inbox returns vertex v's slice of the round's arena. The three-index
+// form caps the slice at its own segment, so a program that (incorrectly)
+// appends to its inbox forces a copy instead of corrupting a neighbor's
+// inbox.
+func (st *execState) inbox(v int) []Message {
+	off := st.inboxOff[v]
+	end := off + st.inboxLen[v]
+	return st.arena[off:end:end]
+}
+
 // deliver merges every shard's outbox into the next round's inboxes,
 // applying the fault plan and accounting. round is the round that was just
 // swept (the send round); its messages are consumed in round+1. It returns
-// the first model violation recorded by any context (in vertex-ID order,
-// so the reported error does not depend on the driver).
+// the first model violation recorded by any shard (shards cover ascending
+// contiguous ID ranges and sweep in ID order, so the reported error is the
+// lowest erring vertex's under every driver).
 //
-// The merge is the zero-copy replacement for the old per-inbox
-// sort.SliceStable: shards cover contiguous ascending ID ranges and each
-// shard outbox is already in ascending sender order, so appending shard
-// outboxes in shard order delivers every inbox sorted by sender — message
-// values move straight from shard outboxes into inboxes, with no
-// intermediate buffer and no sort. Fault decisions happen in that same
-// global sender order, so the fault stream consumption is identical
+// Delivery is a two-pass scatter into the flat inbox arena. The counting
+// pass upper-bounds each vertex's inbox (delayed messages due this round
+// plus every outbox message addressed to it — drops only shorten a
+// segment, never misplace one) and lays the inboxes out back-to-back via
+// a prefix sum. The delivery pass then writes each admitted message at
+// its recipient's cursor. Shards cover contiguous ascending ID ranges and
+// each shard outbox is already in ascending sender order, so visiting
+// shard outboxes in shard order delivers every inbox sorted by sender —
+// no per-vertex append, no intermediate buffer, no sort, and the arena is
+// reused across rounds so steady-state delivery allocates nothing. Fault
+// decisions happen in that same global sender order (the counting pass
+// consults no randomness), so fault stream consumption is identical
 // across drivers. Messages a plan has delayed land ahead of the round's
 // fresh traffic, in the order they were deferred (which is itself global
 // send order, so the whole inbox is deterministic).
 func (r *Runner) deliver(st *execState, round int) error {
-	for _, ctx := range st.ctxs {
-		if ctx.err != nil {
-			return ctx.err
+	for _, sh := range st.shards {
+		if sh.err != nil {
+			return sh.err
 		}
 	}
 	st.drainShardEvents()
-	for v := range st.inboxes {
-		st.inboxes[v] = st.inboxes[v][:0]
-	}
 	consume := round + 1
+	var delayedNow []addressed
 	if st.delayed != nil {
-		for _, a := range st.delayed[consume] {
-			st.admit(a, consume)
+		delayedNow = st.delayed[consume]
+	}
+
+	// Counting pass: inboxLen doubles as the per-vertex counter, then the
+	// prefix sum converts counts into offsets and resets the cursors.
+	for v := range st.inboxLen {
+		st.inboxLen[v] = 0
+	}
+	for _, a := range delayedNow {
+		st.inboxLen[a.to]++
+	}
+	for _, sh := range st.shards {
+		for _, a := range sh.outbox {
+			st.inboxLen[a.to]++
 		}
+	}
+	total := 0
+	for v, c := range st.inboxLen {
+		st.inboxOff[v] = total
+		st.inboxLen[v] = 0
+		total += c
+	}
+	if cap(st.arena) < total {
+		st.arena = make([]Message, total)
+	} else {
+		st.arena = st.arena[:total]
+	}
+
+	// Delivery pass: delayed messages first, then fresh traffic in shard
+	// (= global sender) order.
+	for _, a := range delayedNow {
+		st.admit(a, consume)
+	}
+	if delayedNow != nil {
+		st.delayFree = append(st.delayFree, delayedNow[:0])
 		delete(st.delayed, consume)
 	}
 	for s, sh := range st.shards {
+		if st.plan == nil && st.flow == nil {
+			// Reliable fast path: no fates to draw, no flow to attribute.
+			st.sent += int64(len(sh.outbox))
+			for _, a := range sh.outbox {
+				st.deposit(a)
+			}
+			sh.outbox = sh.outbox[:0]
+			continue
+		}
 		for _, a := range sh.outbox {
 			st.sent++
 			if st.flow != nil {
@@ -557,7 +649,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 						st.delayed = make(map[int][]addressed)
 					}
 					at := consume + fate.Delay
-					st.delayed[at] = append(st.delayed[at], a)
+					st.delayed[at] = st.appendDelayed(st.delayed[at], a)
 					st.res.Delayed++
 					if st.full {
 						st.bus.Emit(trace.Event{
@@ -578,6 +670,17 @@ func (r *Runner) deliver(st *execState, round int) error {
 	return nil
 }
 
+// appendDelayed appends to a delay bucket, seeding empty buckets from the
+// free list of previously drained ones so steady-state delay traffic
+// reuses buffers instead of allocating.
+func (st *execState) appendDelayed(bucket []addressed, a addressed) []addressed {
+	if bucket == nil && len(st.delayFree) > 0 {
+		bucket = st.delayFree[len(st.delayFree)-1]
+		st.delayFree = st.delayFree[:len(st.delayFree)-1]
+	}
+	return append(bucket, a)
+}
+
 // admit finalizes delivery of one message into its recipient's inbox for
 // the given consumption round, unless the recipient is crashed then — a
 // dead vertex is not listening, so the message is lost.
@@ -594,9 +697,17 @@ func (st *execState) admit(a addressed, consume int) {
 		}
 		return
 	}
-	st.inboxes[a.to] = append(st.inboxes[a.to], a.msg)
+	st.deposit(a)
+}
+
+// deposit writes one delivered message at its recipient's arena cursor
+// and folds it into the run counters.
+func (st *execState) deposit(a addressed) {
+	v := a.to
+	st.arena[st.inboxOff[v]+st.inboxLen[v]] = a.msg
+	st.inboxLen[v]++
 	st.res.Messages++
-	bits := a.msg.Payload.Bits()
+	bits := int(a.msg.Wire.Bits)
 	st.res.TotalBits += int64(bits)
 	if bits > st.res.MaxMessageBits {
 		st.res.MaxMessageBits = bits

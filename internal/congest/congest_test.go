@@ -7,10 +7,12 @@ import (
 	"repro/internal/graph"
 )
 
-// bitPayload is a trivial test payload.
-type bitPayload struct{ size int }
-
-func (p bitPayload) Bits() int { return p.size }
+// rawWire builds an uninterpreted test payload of the given bit size. Kind
+// 99 is outside the proto range, which is fine: the engine never interprets
+// kinds.
+func rawWire(bits int) Wire {
+	return Wire{Kind: 99, Bits: uint16(bits)}
+}
 
 // haltNow halts every node in Init.
 type haltNow struct{}
@@ -26,7 +28,7 @@ type pingCounter struct {
 }
 
 func (p *pingCounter) Init(ctx *Context) {
-	ctx.Broadcast(bitPayload{size: 8})
+	ctx.Broadcast(rawWire(8))
 }
 
 func (p *pingCounter) Round(ctx *Context, inbox []Message) {
@@ -35,7 +37,7 @@ func (p *pingCounter) Round(ctx *Context, inbox []Message) {
 		ctx.Halt()
 		return
 	}
-	ctx.Broadcast(bitPayload{size: 8})
+	ctx.Broadcast(rawWire(8))
 }
 
 func TestHaltInInit(t *testing.T) {
@@ -80,7 +82,7 @@ func TestPingCounting(t *testing.T) {
 type sendToStranger struct{}
 
 func (sendToStranger) Init(ctx *Context) {
-	ctx.Send(2, bitPayload{size: 1}) // 2 is not a neighbor of 0 in the path 0-1-2
+	ctx.Send(2, rawWire(1)) // 2 is not a neighbor of 0 in the path 0-1-2
 	ctx.Halt()
 }
 func (sendToStranger) Round(*Context, []Message) {}
@@ -102,7 +104,7 @@ func TestSendToNonNeighborFails(t *testing.T) {
 type oversize struct{}
 
 func (oversize) Init(ctx *Context) {
-	ctx.Broadcast(bitPayload{size: 1000})
+	ctx.Broadcast(rawWire(1000))
 	ctx.Halt()
 }
 func (oversize) Round(*Context, []Message) {}
@@ -182,7 +184,7 @@ type inboxOrderChecker struct {
 }
 
 func (c *inboxOrderChecker) Init(ctx *Context) {
-	ctx.Broadcast(bitPayload{size: 4})
+	ctx.Broadcast(rawWire(4))
 }
 
 func (c *inboxOrderChecker) Round(ctx *Context, inbox []Message) {
@@ -367,7 +369,7 @@ type haltAfterSend struct{ got int }
 
 func (h *haltAfterSend) Init(ctx *Context) {
 	if ctx.ID() == 0 {
-		ctx.Broadcast(bitPayload{size: 2})
+		ctx.Broadcast(rawWire(2))
 		ctx.Halt()
 	}
 }
@@ -414,14 +416,14 @@ func allDrivers(base Options) map[string]Options {
 // when node 0 sends to a non-neighbor and poisons the run.
 type strangerAtRound3 struct{}
 
-func (strangerAtRound3) Init(ctx *Context) { ctx.Broadcast(bitPayload{size: 4}) }
+func (strangerAtRound3) Init(ctx *Context) { ctx.Broadcast(rawWire(4)) }
 
 func (strangerAtRound3) Round(ctx *Context, _ []Message) {
 	if ctx.Round() == 3 && ctx.ID() == 0 {
-		ctx.Send(2, bitPayload{size: 4}) // 2 is not a neighbor of 0 in the path 0-1-2
+		ctx.Send(2, rawWire(4)) // 2 is not a neighbor of 0 in the path 0-1-2
 		return
 	}
-	ctx.Broadcast(bitPayload{size: 4})
+	ctx.Broadcast(rawWire(4))
 }
 
 // TestAbortedRoundNotCounted pins the Result.Rounds fix: a run aborted by

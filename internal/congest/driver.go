@@ -84,14 +84,25 @@ func (r *Runner) runPool() (Result, error) {
 		wg.Wait()
 	}()
 
-	// The barrier: every worker sweeps, the coordinator waits for all of
-	// them. Workers with no live nodes still get the round so the channel
-	// protocol stays uniform; their sweep is an empty loop.
+	// The barrier: every worker with live nodes sweeps, the coordinator
+	// waits for exactly those. Shards whose live list has drained get no
+	// dispatch at all — their sweep would be an empty loop, so skipping
+	// the channel round-trip is observationally identical and removes the
+	// per-empty-shard coordination cost of the tail rounds, where
+	// shattering has halted most of the graph. A skipped shard's worker
+	// is idle for the round, so the coordinator may safely clear its
+	// timing residue.
 	sweep := func(round int) {
-		for _, start := range starts {
+		dispatched := 0
+		for s, start := range starts {
+			if len(st.shards[s].live) == 0 {
+				st.shards[s].busy = 0
+				continue
+			}
 			start <- round
+			dispatched++
 		}
-		for i := 0; i < workers; i++ {
+		for i := 0; i < dispatched; i++ {
 			<-done
 		}
 	}

@@ -145,8 +145,8 @@ func (r *Runner) endRound(st *execState, round int) {
 	st.observed = st.sent
 	if st.full {
 		draws := uint64(0)
-		for _, ctx := range st.ctxs {
-			draws += ctx.rng.Draws()
+		for v := range st.ctxs {
+			draws += st.ctxs[v].rng.Draws()
 		}
 		var faultDraws uint64
 		if st.faults != nil {

@@ -21,7 +21,7 @@ type recorder struct {
 }
 
 func (r *recorder) Init(ctx *Context) {
-	ctx.Broadcast(bitPayload{size: 8})
+	ctx.Broadcast(rawWire(8))
 }
 
 func (r *recorder) Round(ctx *Context, inbox []Message) {
@@ -33,7 +33,7 @@ func (r *recorder) Round(ctx *Context, inbox []Message) {
 		ctx.Halt()
 		return
 	}
-	ctx.Broadcast(bitPayload{size: 8})
+	ctx.Broadcast(rawWire(8))
 }
 
 func pair(t *testing.T) *graph.Graph {

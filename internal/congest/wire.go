@@ -1,0 +1,31 @@
+package congest
+
+// Wire is the value-typed message payload that travels the engine's hot
+// path. It replaces the old boxed Payload interface: a kind tag, the
+// payload's encoded size in bits (so the engine can audit CONGEST
+// compliance without an interface call), and two 64-bit words that every
+// protocol payload in this repository packs losslessly.
+//
+// The engine never interprets Kind, A or B — it only meters Bits and moves
+// the value. Protocol packages own the kind namespace and the codec (see
+// internal/mis/proto: each payload type has a Wire() encoder and a
+// matching As* decoder). Because Wire contains no pointers, shard outboxes
+// and the round's inbox arena are pointer-free memory: sending a message
+// is a 40-byte value copy with no heap allocation, no interface boxing,
+// and nothing for the garbage collector to scan.
+type Wire struct {
+	// Kind tags the payload family. Zero is invalid, so a forgotten
+	// encoder shows up as kind 0 in tests.
+	Kind WireKind
+	// Bits is the payload's encoded size in bits — an honest upper bound
+	// for the encoding a real implementation would use. The engine uses it
+	// for Result.TotalBits/MaxMessageBits and the MessageBitLimit check.
+	Bits uint16
+	// A and B are the payload words; their meaning is defined by Kind.
+	A, B uint64
+}
+
+// WireKind tags the payload family packed into a Wire. Kind 0 is invalid;
+// protocol packages allocate kinds starting at 1 (internal/mis/proto owns
+// 1..8 for the MIS protocol payloads).
+type WireKind uint8

@@ -132,13 +132,13 @@ func (nd *node) startIteration(ctx *congest.Context, scale int) {
 	} else {
 		nd.priority = 0 // the paper's deterministic r(v) ← 0
 	}
-	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: nd.compete})
+	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: nd.compete}.Wire())
 }
 
 // processRemovals shrinks the active set from removal announcements.
 func (nd *node) processRemovals(inbox []congest.Message) {
 	for _, m := range inbox {
-		if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+		if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindRemoved {
 			nd.active.Remove(m.From)
 		}
 	}
@@ -160,14 +160,14 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		case 1: // priorities arrived
 			if nd.wins(ctx.ID(), inbox) {
 				nd.status = base.StatusInMIS
-				ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 				ctx.Halt()
 			}
 		case 2: // join announcements
 			for _, m := range inbox {
-				if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+				if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 					nd.status = base.StatusDominated
-					ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+					ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 					ctx.Halt()
 					return
 				}
@@ -175,12 +175,12 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		}
 	case inScale == 3*p.Iterations: // degree exchange
 		nd.processRemovals(inbox)
-		ctx.Broadcast(proto.Degree{Value: int32(nd.active.Count())})
+		ctx.Broadcast(proto.Degree{Value: int32(nd.active.Count())}.Wire())
 	default: // bad test (inScale == 3Λ+1)
 		high := 0
 		threshold := p.HighDeg(scale)
 		for _, m := range inbox {
-			if d, ok := m.Payload.(proto.Degree); ok && nd.active.Contains(m.From) {
+			if d, ok := proto.AsDegree(m.Wire); ok && nd.active.Contains(m.From) {
 				if int(d.Value) > threshold {
 					high++
 				}
@@ -194,7 +194,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		})
 		if high > p.BadLimit(scale) {
 			nd.status = base.StatusBad
-			ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 			ctx.Halt()
 			return
 		}
@@ -213,7 +213,7 @@ func (nd *node) wins(id int, inbox []congest.Message) bool {
 		return false
 	}
 	for _, m := range inbox {
-		p, ok := m.Payload.(proto.Priority)
+		p, ok := proto.AsPriority(m.Wire)
 		if !ok {
 			continue
 		}

@@ -40,7 +40,7 @@ func TestScheduleArithmetic(t *testing.T) {
 
 func TestWinsSemantics(t *testing.T) {
 	mk := func(from int, val uint64, compete bool) congest.Message {
-		return congest.Message{From: from, Payload: proto.Priority{Value: val, Competitive: compete}}
+		return congest.Message{From: from, Wire: proto.Priority{Value: val, Competitive: compete}.Wire()}
 	}
 	nd := &node{compete: true, priority: 100}
 	// Beats lower competitive priorities and all non-competitive ones.

@@ -132,17 +132,18 @@ func (nd *node) maybePeel(ctx *congest.Context, level int) {
 	}
 	if nd.active.Count() <= nd.threshold {
 		nd.level = level
-		ctx.Broadcast(proto.Level{Value: int32(level)})
+		ctx.Broadcast(proto.Level{Value: int32(level)}.Wire())
 	}
 }
 
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	for _, m := range inbox {
-		switch p := m.Payload.(type) {
-		case proto.Level:
+		switch m.Wire.Kind {
+		case proto.WireLevel:
+			p, _ := proto.AsLevel(m.Wire)
 			nd.levels[m.From] = int(p.Value)
 			nd.active.Remove(m.From)
-		case proto.ForestEdge:
+		case proto.WireForestEdge:
 			// A child tells us which forest the connecting edge is in;
 			// nothing to record on the parent side (the child owns the
 			// parent pointer), but receiving it validates symmetry.
@@ -157,7 +158,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		// final catch-all level so the decomposition is still total.
 		if nd.level == 0 {
 			nd.level = nd.numPhases + 1
-			ctx.Broadcast(proto.Level{Value: int32(nd.level)})
+			ctx.Broadcast(proto.Level{Value: int32(nd.level)}.Wire())
 		}
 	case r == nd.numPhases+1:
 		nd.orient(ctx)
@@ -170,7 +171,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 // indices to out-edges.
 func (nd *node) orient(ctx *congest.Context) {
 	id := ctx.ID()
-	for _, w := range ctx.Neighbors() {
+	for slot, w := range ctx.Neighbors() {
 		wl, ok := nd.levels[w]
 		if !ok {
 			// Neighbor peeled in the same round we did and its
@@ -184,7 +185,7 @@ func (nd *node) orient(ctx *congest.Context) {
 		if wl > nd.level || (wl == nd.level && w > id) {
 			idx := len(nd.parents)
 			nd.parents = append(nd.parents, w)
-			ctx.Send(w, proto.ForestEdge{Forest: int32(idx)})
+			ctx.SendSlot(slot, proto.ForestEdge{Forest: int32(idx)}.Wire())
 		}
 	}
 }

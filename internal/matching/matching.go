@@ -125,16 +125,19 @@ func (nd *node) startIteration(ctx *congest.Context) {
 	if !nd.sender {
 		return
 	}
-	// Propose to a uniformly random active neighbor.
+	// Propose to a uniformly random active neighbor. The active set aliases
+	// ctx.Neighbors(), so the set slot doubles as the SendSlot address.
 	idx := ctx.RNG().Intn(nd.active.Count())
 	i := 0
-	nd.active.Each(func(id int) {
+	slot := -1
+	nd.active.EachSlot(func(s, id int) {
 		if i == idx {
 			nd.proposal = id
+			slot = s
 		}
 		i++
 	})
-	ctx.Send(nd.proposal, proto.Flag{Kind: proto.KindPropose})
+	ctx.SendSlot(slot, proto.Flag{Kind: proto.KindPropose}.Wire())
 }
 
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
@@ -144,16 +147,16 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 			return
 		}
 		for _, m := range inbox { // inbox sorted by sender ID
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindPropose {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindPropose {
 				nd.accepted = m.From
-				ctx.Send(m.From, proto.Flag{Kind: proto.KindAccept})
+				ctx.Send(m.From, proto.Flag{Kind: proto.KindAccept}.Wire())
 				break
 			}
 		}
 	case 2: // accepts arrived; pairs commit and announce
 		if nd.sender {
 			for _, m := range inbox {
-				if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindAccept && m.From == nd.proposal {
+				if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindAccept && m.From == nd.proposal {
 					nd.partner = m.From
 					break
 				}
@@ -162,12 +165,12 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 			nd.partner = nd.accepted
 		}
 		if nd.partner != Unmatched {
-			ctx.Broadcast(proto.Flag{Kind: proto.KindMatched})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindMatched}.Wire())
 			ctx.Halt()
 		}
 	case 0: // matched announcements; next iteration
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindMatched {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindMatched {
 				nd.active.Remove(m.From)
 			}
 		}

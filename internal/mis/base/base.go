@@ -128,6 +128,19 @@ func (s *ActiveSet) Each(f func(id int)) {
 	}
 }
 
+// EachSlot calls f for every active neighbor in increasing ID order,
+// passing the neighbor's slot in the ids list alongside its ID. When the
+// set was built from congest.Context.Neighbors (the universal pattern in
+// this repo), slot is exactly the argument Context.SendSlot expects, so
+// programs can address messages without any neighbor search.
+func (s *ActiveSet) EachSlot(f func(slot, id int)) {
+	for i, id := range s.ids {
+		if s.active[i] {
+			f(i, id)
+		}
+	}
+}
+
 func (s *ActiveSet) indexOf(id int) int {
 	i := sort.SearchInts(s.ids, id)
 	if i < len(s.ids) && s.ids[i] == id {

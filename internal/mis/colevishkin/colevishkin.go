@@ -137,7 +137,7 @@ func validate(g *graph.Graph, parent []int) error {
 func (nd *node) Init(ctx *congest.Context) {
 	// When n <= 6 the reduction stage is empty (T = 0): IDs already form a
 	// <6 coloring and the schedule proceeds straight to shift-down.
-	ctx.Broadcast(proto.Color{Value: nd.color})
+	ctx.Broadcast(proto.Color{Value: nd.color}.Wire())
 }
 
 // parentColor extracts the color sent by nd's parent this round, if any.
@@ -147,7 +147,7 @@ func (nd *node) parentColor(inbox []congest.Message) (uint64, bool) {
 	}
 	for _, m := range inbox {
 		if m.From == nd.parent {
-			if c, ok := m.Payload.(proto.Color); ok {
+			if c, ok := proto.AsColor(m.Wire); ok {
 				return c.Value, true
 			}
 		}
@@ -190,7 +190,7 @@ func (nd *node) reduceStep(ctx *congest.Context, inbox []congest.Message) {
 	i := uint64(bits.TrailingZeros64(diff))
 	b := (nd.color >> i) & 1
 	nd.color = 2*i + b
-	ctx.Broadcast(proto.Color{Value: nd.color})
+	ctx.Broadcast(proto.Color{Value: nd.color}.Wire())
 }
 
 // shiftDown makes each vertex adopt its parent's color (roots rotate),
@@ -210,7 +210,7 @@ func (nd *node) shiftDown(ctx *congest.Context, inbox []congest.Message) {
 			nd.color = 0
 		}
 	}
-	ctx.Broadcast(proto.Color{Value: nd.color})
+	ctx.Broadcast(proto.Color{Value: nd.color}.Wire())
 }
 
 // recolor moves every vertex of color c into {0,1,2}, avoiding its parent's
@@ -229,14 +229,14 @@ func (nd *node) recolor(ctx *congest.Context, inbox []congest.Message, c uint64)
 			break
 		}
 	}
-	ctx.Broadcast(proto.Color{Value: nd.color})
+	ctx.Broadcast(proto.Color{Value: nd.color}.Wire())
 }
 
 // joinTurn lets color class c join the MIS (if not already dominated).
 func (nd *node) joinTurn(ctx *congest.Context, c uint64) {
 	if nd.status == base.StatusActive && nd.color == c {
 		nd.status = base.StatusInMIS
-		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 	}
 }
 
@@ -245,7 +245,7 @@ func (nd *node) joinTurn(ctx *congest.Context, c uint64) {
 func (nd *node) absorbJoins(ctx *congest.Context, inbox []congest.Message, last bool) {
 	if nd.status == base.StatusActive {
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
 				break
 			}

@@ -102,7 +102,7 @@ func (nd *node) Init(ctx *congest.Context) {
 
 func (nd *node) start(ctx *congest.Context) {
 	nd.priority = ctx.RNG().Uint64()
-	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true})
+	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true}.Wire())
 }
 
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
@@ -110,7 +110,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	case 1:
 		win := true
 		for _, m := range inbox {
-			if p, ok := m.Payload.(proto.Priority); ok {
+			if p, ok := proto.AsPriority(m.Wire); ok {
 				if p.Value > nd.priority || (p.Value == nd.priority && m.From > ctx.ID()) {
 					win = false
 					break
@@ -119,14 +119,14 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		}
 		if win {
 			nd.status = base.StatusInMIS
-			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 			ctx.Halt()
 		}
 	case 2:
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}

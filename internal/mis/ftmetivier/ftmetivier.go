@@ -109,7 +109,7 @@ func (nd *node) startEpoch(ctx *congest.Context, epoch int32) {
 	for id := range nd.got {
 		delete(nd.got, id)
 	}
-	ctx.Broadcast(proto.EpochPriority{Value: nd.priority, Epoch: epoch})
+	ctx.Broadcast(proto.EpochPriority{Value: nd.priority, Epoch: epoch}.Wire())
 }
 
 // Round follows Métivier's three-round cadence (priorities, joins,
@@ -118,19 +118,20 @@ func (nd *node) startEpoch(ctx *congest.Context, epoch int32) {
 // both are safe to act on no matter how stale.
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	for _, m := range inbox {
-		switch p := m.Payload.(type) {
-		case proto.EpochPriority:
-			if p.Epoch == nd.epoch {
+		switch m.Wire.Kind {
+		case proto.WireEpochPriority:
+			if p, _ := proto.AsEpochPriority(m.Wire); p.Epoch == nd.epoch {
 				nd.got[m.From] = p.Value
 			}
-		case proto.Flag:
+		case proto.WireFlag:
+			p, _ := proto.AsFlag(m.Wire)
 			switch p.Kind {
 			case proto.KindJoined:
 				// A neighbor is in the MIS: we are dominated, whenever we
 				// learn it.
 				nd.status = base.StatusDominated
 				ctx.Emit(int32(proto.KindRemoved), int64(nd.epoch))
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			case proto.KindRemoved:
@@ -143,7 +144,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		if nd.wins(ctx.ID()) {
 			nd.status = base.StatusInMIS
 			ctx.Emit(int32(proto.KindJoined), int64(nd.epoch))
-			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 			ctx.Halt()
 		}
 	case 0: // next iteration: redraw, or give up undecided at the budget.

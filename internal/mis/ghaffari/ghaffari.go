@@ -72,7 +72,7 @@ func (nd *node) start(ctx *congest.Context) {
 		ctx.Halt()
 		return
 	}
-	ctx.Broadcast(proto.Desire{P30: nd.p30})
+	ctx.Broadcast(proto.Desire{P30: nd.p30}.Wire())
 }
 
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
@@ -80,7 +80,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	case 1: // desires arrived: update p, decide mark
 		var sum uint64
 		for _, m := range inbox {
-			if d, ok := m.Payload.(proto.Desire); ok {
+			if d, ok := proto.AsDesire(m.Wire); ok {
 				sum += uint64(d.P30)
 			}
 		}
@@ -100,32 +100,32 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		}
 		nd.marked = mark
 		if mark {
-			ctx.Broadcast(proto.Flag{Kind: proto.KindMarked})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindMarked}.Wire())
 		}
 	case 2: // marks arrived: unconflicted marked nodes join
 		if !nd.marked {
 			return
 		}
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindMarked {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindMarked {
 				return // a neighbor is marked too; nobody joins here
 			}
 		}
 		nd.status = base.StatusInMIS
-		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 		ctx.Halt()
 	case 3: // join announcements
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}
 		}
 	case 0: // removals arrived: next iteration
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindRemoved {
 				nd.active.Remove(m.From)
 			}
 		}

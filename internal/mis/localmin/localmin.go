@@ -58,7 +58,7 @@ func (nd *node) tryJoin(ctx *congest.Context) {
 	})
 	if min {
 		nd.status = base.StatusInMIS
-		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+		ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 		ctx.Halt()
 	}
 }
@@ -67,16 +67,16 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 	switch ctx.Round() % 2 {
 	case 1: // join announcements
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}
 		}
 	case 0: // removal announcements; next iteration
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindRemoved {
 				nd.active.Remove(m.From)
 			}
 		}

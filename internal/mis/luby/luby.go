@@ -70,7 +70,7 @@ func (nd *nodeA) Init(ctx *congest.Context) { nd.start(ctx) }
 
 func (nd *nodeA) start(ctx *congest.Context) {
 	nd.priority = ctx.RNG().Uint64() % nd.rangeMax
-	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true})
+	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true}.Wire())
 }
 
 func (nd *nodeA) Round(ctx *congest.Context, inbox []congest.Message) {
@@ -78,7 +78,7 @@ func (nd *nodeA) Round(ctx *congest.Context, inbox []congest.Message) {
 	case 1:
 		win := true
 		for _, m := range inbox {
-			if p, ok := m.Payload.(proto.Priority); ok {
+			if p, ok := proto.AsPriority(m.Wire); ok {
 				if p.Value > nd.priority || (p.Value == nd.priority && m.From > ctx.ID()) {
 					win = false
 					break
@@ -87,14 +87,14 @@ func (nd *nodeA) Round(ctx *congest.Context, inbox []congest.Message) {
 		}
 		if win {
 			nd.status = base.StatusInMIS
-			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 			ctx.Halt()
 		}
 	case 2:
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}
@@ -148,7 +148,7 @@ func (nd *nodeB) start(ctx *congest.Context) {
 	}
 	nd.marked = ctx.RNG().Bool(1 / (2 * float64(nd.myDeg)))
 	if nd.marked {
-		ctx.Broadcast(proto.Degree{Value: int32(nd.myDeg)})
+		ctx.Broadcast(proto.Degree{Value: int32(nd.myDeg)}.Wire())
 	}
 }
 
@@ -159,7 +159,7 @@ func (nd *nodeB) Round(ctx *congest.Context, inbox []congest.Message) {
 			return
 		}
 		for _, m := range inbox {
-			d, ok := m.Payload.(proto.Degree)
+			d, ok := proto.AsDegree(m.Wire)
 			if !ok || !nd.active.Contains(m.From) {
 				continue
 			}
@@ -172,21 +172,21 @@ func (nd *nodeB) Round(ctx *congest.Context, inbox []congest.Message) {
 		}
 		if nd.marked {
 			nd.status = base.StatusInMIS
-			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 			ctx.Halt()
 		}
 	case 2: // join announcements
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}
 		}
 	case 0: // removals arrived; next iteration
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindRemoved {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindRemoved {
 				nd.active.Remove(m.From)
 			}
 		}

@@ -58,7 +58,7 @@ func (nd *node) Init(ctx *congest.Context) {
 // startIteration draws and broadcasts a fresh priority (phase 0's send).
 func (nd *node) startIteration(ctx *congest.Context) {
 	nd.priority = ctx.RNG().Uint64()
-	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true})
+	ctx.Broadcast(proto.Priority{Value: nd.priority, Competitive: true}.Wire())
 }
 
 func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
@@ -67,15 +67,15 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		if nd.winsAgainst(ctx.ID(), inbox) {
 			nd.status = base.StatusInMIS
 			ctx.Emit(int32(proto.KindJoined), int64(ctx.Round()/3))
-			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined})
+			ctx.Broadcast(proto.Flag{Kind: proto.KindJoined}.Wire())
 			ctx.Halt()
 		}
 	case 2: // phase 2: join announcements arrived.
 		for _, m := range inbox {
-			if f, ok := m.Payload.(proto.Flag); ok && f.Kind == proto.KindJoined {
+			if f, ok := proto.AsFlag(m.Wire); ok && f.Kind == proto.KindJoined {
 				nd.status = base.StatusDominated
 				ctx.Emit(int32(proto.KindRemoved), int64(ctx.Round()/3))
-				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved})
+				ctx.Broadcast(proto.Flag{Kind: proto.KindRemoved}.Wire())
 				ctx.Halt()
 				return
 			}
@@ -89,7 +89,7 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 // priority in the inbox. A node with no active neighbors wins trivially.
 func (nd *node) winsAgainst(id int, inbox []congest.Message) bool {
 	for _, m := range inbox {
-		p, ok := m.Payload.(proto.Priority)
+		p, ok := proto.AsPriority(m.Wire)
 		if !ok {
 			continue
 		}

@@ -1,6 +1,11 @@
 package proto
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+)
 
 func TestBitsArePositiveAndSmall(t *testing.T) {
 	// Every payload must report a positive size bounded by a constant
@@ -30,5 +35,155 @@ func TestKindsDistinct(t *testing.T) {
 			t.Fatalf("duplicate kind %d", k)
 		}
 		seen[k] = true
+	}
+}
+
+// wireCodecs enumerates every payload codec in the package once, so the
+// round-trip and collision tests below fail to compile when a payload is
+// added without being registered here.
+func wireKinds() []congest.WireKind {
+	return []congest.WireKind{
+		WirePriority, WireEpochPriority, WireFlag, WireDegree,
+		WireDesire, WireColor, WireLevel, WireForestEdge,
+	}
+}
+
+// TestWireRoundTrip is the codec property test: for many randomized field
+// values, every payload must survive encode→decode with identical fields,
+// and its Wire record must carry the same bit size Bits() reports.
+func TestWireRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		{
+			p := Priority{Value: r.Uint64(), Competitive: r.Intn(2) == 0}
+			w := p.Wire()
+			got, ok := AsPriority(w)
+			if !ok || got != p {
+				t.Fatalf("Priority %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Priority wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := EpochPriority{Value: r.Uint64(), Epoch: int32(r.Uint32())}
+			w := p.Wire()
+			got, ok := AsEpochPriority(w)
+			if !ok || got != p {
+				t.Fatalf("EpochPriority %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("EpochPriority wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := Flag{Kind: Kind(r.Intn(256))}
+			w := p.Wire()
+			got, ok := AsFlag(w)
+			if !ok || got != p {
+				t.Fatalf("Flag %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Flag wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := Degree{Value: int32(r.Uint32())}
+			w := p.Wire()
+			got, ok := AsDegree(w)
+			if !ok || got != p {
+				t.Fatalf("Degree %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Degree wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := Desire{P30: r.Uint32()}
+			w := p.Wire()
+			got, ok := AsDesire(w)
+			if !ok || got != p {
+				t.Fatalf("Desire %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Desire wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := Color{Value: r.Uint64()}
+			w := p.Wire()
+			got, ok := AsColor(w)
+			if !ok || got != p {
+				t.Fatalf("Color %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Color wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := Level{Value: int32(r.Uint32())}
+			w := p.Wire()
+			got, ok := AsLevel(w)
+			if !ok || got != p {
+				t.Fatalf("Level %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("Level wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+		{
+			p := ForestEdge{Forest: int32(r.Uint32())}
+			w := p.Wire()
+			got, ok := AsForestEdge(w)
+			if !ok || got != p {
+				t.Fatalf("ForestEdge %+v round-tripped to %+v (ok=%v)", p, got, ok)
+			}
+			if int(w.Bits) != p.Bits() {
+				t.Fatalf("ForestEdge wire bits %d != Bits() %d", w.Bits, p.Bits())
+			}
+		}
+	}
+}
+
+// TestWireKindsDistinctAndNonzero is the exhaustive kind-tag collision
+// check: every wire kind in the package is distinct and none is the
+// invalid zero tag.
+func TestWireKindsDistinctAndNonzero(t *testing.T) {
+	seen := map[congest.WireKind]bool{}
+	for _, k := range wireKinds() {
+		if k == 0 {
+			t.Fatalf("wire kind %d is the invalid zero tag", k)
+		}
+		if seen[k] {
+			t.Fatalf("wire kind %d assigned twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 wire kinds, saw %d", len(seen))
+	}
+}
+
+// TestWireDecodersRejectForeignKinds checks every decoder returns ok=false
+// for every wire kind it does not own — the moral equivalent of a failed
+// type assertion — including the zero Wire and an out-of-range tag.
+func TestWireDecodersRejectForeignKinds(t *testing.T) {
+	decoders := map[congest.WireKind]func(congest.Wire) bool{
+		WirePriority:      func(w congest.Wire) bool { _, ok := AsPriority(w); return ok },
+		WireEpochPriority: func(w congest.Wire) bool { _, ok := AsEpochPriority(w); return ok },
+		WireFlag:          func(w congest.Wire) bool { _, ok := AsFlag(w); return ok },
+		WireDegree:        func(w congest.Wire) bool { _, ok := AsDegree(w); return ok },
+		WireDesire:        func(w congest.Wire) bool { _, ok := AsDesire(w); return ok },
+		WireColor:         func(w congest.Wire) bool { _, ok := AsColor(w); return ok },
+		WireLevel:         func(w congest.Wire) bool { _, ok := AsLevel(w); return ok },
+		WireForestEdge:    func(w congest.Wire) bool { _, ok := AsForestEdge(w); return ok },
+	}
+	probes := append(wireKinds(), 0, 99)
+	for own, dec := range decoders {
+		for _, k := range probes {
+			if got := dec(congest.Wire{Kind: k}); got != (k == own) {
+				t.Fatalf("decoder for kind %d accepted=%v on kind %d", own, got, k)
+			}
+		}
 	}
 }
