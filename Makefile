@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test vet race cover alloc-gate ci bench-engine bench bench-faults bench-trace bench-alloc
+.PHONY: build test vet misvet race cover alloc-gate ci bench-engine bench bench-faults bench-trace bench-alloc
 
 build:
 	go build ./...
@@ -12,26 +12,40 @@ test: build
 vet:
 	go vet ./...
 
+# Repo-specific static analysis (internal/lint via cmd/misvet): the
+# determinism and CONGEST contracts — no wall clocks / math/rand /
+# atomics / goroutines / map ranges in deterministic packages, a closed
+# wire-kind namespace, encoder bit sizes within congest.MaxWireBits, and
+# allocation-free //congest:hotpath functions. Any non-baselined finding
+# fails the build; see README "Static analysis" for the escape hatches.
+misvet:
+	go run ./cmd/misvet ./...
+
 # Engine safety net: vet plus race-detector coverage of the CONGEST
 # drivers (the sharded worker pool and the legacy goroutine-per-vertex
 # driver are the only concurrent code in the repo).
 race:
 	go vet ./internal/congest/... && go test -race ./internal/congest/...
 
-# Coverage gate: the engine, the fault-injection subsystem, and the
+# Coverage gates: the engine, the fault-injection subsystem, and the
 # execution-trace subsystem are the load-bearing packages; their statement
-# coverage must stay at or above the threshold.
-COVER_PKGS = repro/internal/faultsim repro/internal/congest repro/internal/trace
-COVER_MIN  = 60.0
+# coverage must stay at or above the threshold. The analyzer suite holds a
+# higher bar — its fixture tests are the only thing standing between an
+# analyzer regression and silently-unguarded determinism contracts.
+COVER_PKGS     = repro/internal/faultsim repro/internal/congest repro/internal/trace
+COVER_MIN      = 60.0
+LINT_COVER_MIN = 80.0
+
+COVER_AWK = { print } \
+	/coverage:/ { \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub(/%/, "", pct); \
+			if (pct + 0 < min) { printf "FAIL: %s coverage %s%% below %s%%\n", $$2, pct, min; bad = 1 } } \
+	} \
+	END { exit bad }
 
 cover:
-	@go test -cover $(COVER_PKGS) | awk -v min=$(COVER_MIN) ' \
-		{ print } \
-		/coverage:/ { \
-			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub(/%/, "", pct); \
-				if (pct + 0 < min) { printf "FAIL: %s coverage %s%% below %s%%\n", $$2, pct, min; bad = 1 } } \
-		} \
-		END { exit bad }'
+	@go test -cover $(COVER_PKGS) | awk -v min=$(COVER_MIN) '$(COVER_AWK)'
+	@go test -cover repro/internal/lint | awk -v min=$(LINT_COVER_MIN) '$(COVER_AWK)'
 
 # Allocation gate: a steady-state sequential round (n = 1024 ring,
 # every node broadcasting) must perform zero heap allocations — the
@@ -41,8 +55,9 @@ alloc-gate:
 	go test -run '^TestSteadyStateRound' -count=1 ./internal/congest/
 
 # Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
-# repo-wide vet, race-detector pass, coverage floor, allocation gate.
-ci: test vet race cover alloc-gate
+# repo-wide vet, the misvet analyzer suite, race-detector pass, coverage
+# floors, allocation gate.
+ci: test vet misvet race cover alloc-gate
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).

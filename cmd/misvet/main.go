@@ -1,0 +1,169 @@
+// Command misvet runs the repository's determinism / CONGEST-contract
+// analyzer suite (internal/lint) over the module and reports findings in
+// go vet's clickable file:line:col format, prefixed with the analyzer
+// name:
+//
+//	internal/mis/metivier/metivier.go:42:9: determinism: call of time.Now ...
+//
+// Usage:
+//
+//	misvet [flags] [package pattern ...]
+//
+// Patterns are module-relative import-path prefixes ("./...", the
+// default, means the whole module; "./internal/congest/..." limits
+// reporting to that subtree). The whole module is always loaded and
+// type-checked — cross-package analyzers need it — patterns only filter
+// which packages' findings are reported.
+//
+// Flags:
+//
+//	-json                emit findings as a JSON array instead of text
+//	-baseline FILE       suppress findings recorded in FILE (burn-down mode)
+//	-write-baseline FILE record current findings as the accepted baseline
+//	-only a,b            run only the named analyzers
+//	-list                list the analyzers and exit
+//
+// Exit status: 0 when clean (or every finding is baselined), 1 when
+// non-baselined findings exist, 2 on usage or load errors.
+//
+// misvet is stdlib-only: it is a standalone checker rather than a
+// `go vet -vettool` plugin (which would require golang.org/x/tools), but
+// it is wired into `make ci` right beside go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("misvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut       = fs.Bool("json", false, "emit findings as JSON")
+		baselinePath  = fs.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = fs.String("write-baseline", "", "record current findings to this baseline file and exit")
+		only          = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		dir           = fs.String("C", ".", "module directory to analyze")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: misvet [flags] [package pattern ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "misvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	module, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "misvet: %v\n", err)
+		return 2
+	}
+	diags, suppressed := lint.Run(module, analyzers)
+	diags = filterPatterns(diags, fs.Args())
+
+	if *writeBaseline != "" {
+		if err := lint.NewBaseline(diags).Write(*writeBaseline); err != nil {
+			fmt.Fprintf(stderr, "misvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "misvet: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "misvet: %v\n", err)
+			return 2
+		}
+	}
+	fresh, absorbed := baseline.Filter(diags)
+
+	if *jsonOut {
+		out := fresh
+		if out == nil {
+			out = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "misvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if suppressed > 0 || absorbed > 0 {
+		fmt.Fprintf(stderr, "misvet: %d finding(s); %d advisory-suppressed, %d baselined\n",
+			len(fresh), suppressed, absorbed)
+	}
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// filterPatterns keeps findings whose package matches one of the
+// go-style patterns ("./...", "./internal/congest", "./internal/mis/...").
+// No patterns, or any "./..." pattern, keeps everything.
+func filterPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimPrefix(strings.TrimSuffix(p, "/..."), "./")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p)
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if d.File == p || strings.HasPrefix(d.File, p+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

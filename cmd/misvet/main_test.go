@@ -1,0 +1,102 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestList checks -list names every analyzer in the suite.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "maprange", "wirekind", "congestbits", "hotalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks -only rejects names not in the suite before
+// any loading happens.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nonesuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+// TestBadFlag checks flag errors exit with usage status.
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestModuleCleanJSON runs the real suite over the module: the tree must
+// be clean, so -json emits an empty array and the exit status is 0. This
+// is the CLI-level half of internal/lint's TestModuleClean.
+func TestModuleCleanJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("expected empty JSON findings, got: %s", got)
+	}
+	// The clean run still has advisory escapes; the summary reports them.
+	if !strings.Contains(errOut.String(), "advisory-suppressed") {
+		t.Errorf("summary missing advisory count: %s", errOut.String())
+	}
+	// Baseline round trip through the CLI: recording a clean run writes an
+	// empty baseline, and running against it stays clean.
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "../..", "-write-baseline", baseline}, &out, &errOut); code != 0 {
+		t.Fatalf("write-baseline exit %d, stderr: %s", code, errOut.String())
+	}
+	b, err := lint.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("clean module recorded %d baseline findings", len(b.Findings))
+	}
+}
+
+// TestFilterPatterns checks pattern filtering is prefix-based on
+// module-relative files, with "./..." keeping everything.
+func TestFilterPatterns(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Analyzer: "determinism", File: "internal/congest/driver.go", Line: 1, Message: "m"},
+		{Analyzer: "maprange", File: "internal/mis/metivier/metivier.go", Line: 2, Message: "m"},
+	}
+	if got := filterPatterns(diags, nil); len(got) != 2 {
+		t.Errorf("no patterns: kept %d, want 2", len(got))
+	}
+	if got := filterPatterns(diags, []string{"./..."}); len(got) != 2 {
+		t.Errorf("./...: kept %d, want 2", len(got))
+	}
+	got := filterPatterns(diags, []string{"./internal/mis/..."})
+	if len(got) != 1 || got[0].File != "internal/mis/metivier/metivier.go" {
+		t.Errorf("./internal/mis/...: got %v", got)
+	}
+	if got := filterPatterns(diags, []string{"./internal/congest"}); len(got) != 1 {
+		t.Errorf("exact package: kept %d, want 1", len(got))
+	}
+	if got := filterPatterns(diags, []string{"./internal/exp/..."}); len(got) != 0 {
+		t.Errorf("unmatched pattern: kept %d, want 0", len(got))
+	}
+}

@@ -121,8 +121,11 @@ func (c *Context) Send(to int, w Wire) {
 // adjacency list, so no neighbor-membership search is needed — this is the
 // zero-overhead send for programs that iterate Neighbors() anyway. A slot
 // outside [0, Degree()) poisons the run.
+//
+//congest:hotpath
 func (c *Context) SendSlot(i int, w Wire) {
 	if uint(i) >= uint(len(c.neighbors)) {
+		//congest:coldpath slot violations poison the run; the error path may allocate
 		c.fail(fmt.Errorf("congest: node %d sent to neighbor slot %d of %d", c.id, i, len(c.neighbors)))
 		return
 	}
@@ -131,6 +134,8 @@ func (c *Context) SendSlot(i int, w Wire) {
 
 // Broadcast queues a message to every neighbor for delivery next round,
 // walking the adjacency list directly (no membership checks).
+//
+//congest:hotpath
 func (c *Context) Broadcast(w Wire) {
 	for _, v := range c.neighbors {
 		c.enqueue(v, w)
@@ -139,6 +144,8 @@ func (c *Context) Broadcast(w Wire) {
 
 // BroadcastWire is Broadcast under the name the slot-addressed API family
 // uses; both walk the neighbor slots directly.
+//
+//congest:hotpath
 func (c *Context) BroadcastWire(w Wire) { c.Broadcast(w) }
 
 // fail records the first model violation observed in this context's shard.
@@ -155,8 +162,11 @@ func (c *Context) fail(err error) {
 // the shard runs this node, so the append is race-free, and because nodes
 // within a shard are swept in ID order the shard outbox stays sorted by
 // sender with per-sender append order preserved.
+//
+//congest:hotpath
 func (c *Context) enqueue(to int, w Wire) {
 	if c.runner.opts.MessageBitLimit > 0 && int(w.Bits) > c.runner.opts.MessageBitLimit {
+		//congest:coldpath oversized messages poison the run; the error path may allocate
 		c.fail(fmt.Errorf("congest: node %d message of %d bits exceeds limit %d",
 			c.id, w.Bits, c.runner.opts.MessageBitLimit))
 		return
@@ -508,6 +518,8 @@ func (r *Runner) newExecState(numShards int) *execState {
 // with permanent crashes can still terminate. Vertex fates are pure
 // functions of (round, vertex), so concurrent shard workers agree with
 // the sequential sweep.
+//
+//congest:hotpath
 func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 	live := sh.live[:0]
 	for _, v := range sh.live {
@@ -542,6 +554,8 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 // form caps the slice at its own segment, so a program that (incorrectly)
 // appends to its inbox forces a copy instead of corrupting a neighbor's
 // inbox.
+//
+//congest:hotpath
 func (st *execState) inbox(v int) []Message {
 	off := st.inboxOff[v]
 	end := off + st.inboxLen[v]
@@ -570,6 +584,8 @@ func (st *execState) inbox(v int) []Message {
 // across drivers. Messages a plan has delayed land ahead of the round's
 // fresh traffic, in the order they were deferred (which is itself global
 // send order, so the whole inbox is deterministic).
+//
+//congest:hotpath
 func (r *Runner) deliver(st *execState, round int) error {
 	for _, sh := range st.shards {
 		if sh.err != nil {
@@ -603,6 +619,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 		total += c
 	}
 	if cap(st.arena) < total {
+		//congest:coldpath arena growth: the backing store only grows, so steady-state rounds never take this branch
 		st.arena = make([]Message, total)
 	} else {
 		st.arena = st.arena[:total]
@@ -646,6 +663,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 				}
 				if fate.Delay > 0 {
 					if st.delayed == nil {
+						//congest:coldpath first delay fault of the run allocates the bucket map once
 						st.delayed = make(map[int][]addressed)
 					}
 					at := consume + fate.Delay
@@ -673,6 +691,8 @@ func (r *Runner) deliver(st *execState, round int) error {
 // appendDelayed appends to a delay bucket, seeding empty buckets from the
 // free list of previously drained ones so steady-state delay traffic
 // reuses buffers instead of allocating.
+//
+//congest:hotpath
 func (st *execState) appendDelayed(bucket []addressed, a addressed) []addressed {
 	if bucket == nil && len(st.delayFree) > 0 {
 		bucket = st.delayFree[len(st.delayFree)-1]
@@ -684,6 +704,8 @@ func (st *execState) appendDelayed(bucket []addressed, a addressed) []addressed 
 // admit finalizes delivery of one message into its recipient's inbox for
 // the given consumption round, unless the recipient is crashed then — a
 // dead vertex is not listening, so the message is lost.
+//
+//congest:hotpath
 func (st *execState) admit(a addressed, consume int) {
 	if st.plan != nil && st.plan.Vertex(consume, a.to) != faultsim.VertexUp {
 		st.res.Dropped++
@@ -702,6 +724,8 @@ func (st *execState) admit(a addressed, consume int) {
 
 // deposit writes one delivered message at its recipient's arena cursor
 // and folds it into the run counters.
+//
+//congest:hotpath
 func (st *execState) deposit(a addressed) {
 	v := a.to
 	st.arena[st.inboxOff[v]+st.inboxLen[v]] = a.msg

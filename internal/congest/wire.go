@@ -29,3 +29,11 @@ type Wire struct {
 // protocol packages allocate kinds starting at 1 (internal/mis/proto owns
 // 1..8 for the MIS protocol payloads).
 type WireKind uint8
+
+// MaxWireBits is the repository's concrete O(log n) CONGEST message-size
+// budget: no Wire() encoder may declare more bits than this. Two 64-bit
+// words bound any payload the Wire record can carry, and 128 = O(log n)
+// for every feasible n, so the constant is both the physical and the
+// model-level ceiling. The misvet congestbits analyzer enforces it at
+// compile time; Options.MessageBitLimit meters it at run time.
+const MaxWireBits = 128

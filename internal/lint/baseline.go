@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a recorded set of accepted findings, used to adopt misvet
+// on a codebase with pre-existing violations: baselined findings do not
+// fail the run, so the debt can be burned down deliberately while new
+// violations still break CI. Matching ignores line numbers — a baselined
+// finding survives unrelated edits to its file — and is multiset-based:
+// two identical findings need two baseline entries.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings are the accepted diagnostics (Line/Col are informational
+	// and ignored during matching).
+	Findings []Diagnostic `json:"findings"`
+}
+
+// baselineKey is the line-insensitive identity of a finding.
+func baselineKey(d Diagnostic) string {
+	return d.Analyzer + "\x00" + d.File + "\x00" + d.Message
+}
+
+// NewBaseline records the given findings as accepted.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Version: 1, Findings: append([]Diagnostic(nil), diags...)}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		return baselineKey(b.Findings[i]) < baselineKey(b.Findings[j])
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %v", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline to path.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into findings not covered by the baseline (fresh)
+// and the number it absorbed. A nil baseline absorbs nothing.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+	if b == nil {
+		return diags, 0
+	}
+	budget := make(map[string]int, len(b.Findings))
+	for _, d := range b.Findings {
+		budget[baselineKey(d)]++
+	}
+	for _, d := range diags {
+		key := baselineKey(d)
+		if budget[key] > 0 {
+			budget[key]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, absorbed
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file, msg string, line int) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, File: file, Line: line, Col: 1, Message: msg}
+}
+
+// TestBaselineRoundTrip writes a baseline and reads it back.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	diags := []Diagnostic{
+		diag("determinism", "a.go", "call of time.Now", 10),
+		diag("maprange", "b.go", "range over map", 20),
+	}
+	if err := NewBaseline(diags).Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 2 || b.Version != 1 {
+		t.Fatalf("round trip: got version %d with %d findings", b.Version, len(b.Findings))
+	}
+	fresh, absorbed := b.Filter(diags)
+	if len(fresh) != 0 || absorbed != 2 {
+		t.Errorf("Filter over own findings: fresh=%d absorbed=%d, want 0/2", len(fresh), absorbed)
+	}
+}
+
+// TestBaselineLineInsensitive checks a baselined finding survives the
+// file shifting under it: matching ignores Line and Col.
+func TestBaselineLineInsensitive(t *testing.T) {
+	b := NewBaseline([]Diagnostic{diag("determinism", "a.go", "call of time.Now", 10)})
+	fresh, absorbed := b.Filter([]Diagnostic{diag("determinism", "a.go", "call of time.Now", 99)})
+	if len(fresh) != 0 || absorbed != 1 {
+		t.Errorf("line-shifted finding not absorbed: fresh=%d absorbed=%d", len(fresh), absorbed)
+	}
+}
+
+// TestBaselineMultiset checks matching is budgeted: one baseline entry
+// absorbs one finding, a second identical finding stays fresh.
+func TestBaselineMultiset(t *testing.T) {
+	d := diag("maprange", "a.go", "range over map", 5)
+	b := NewBaseline([]Diagnostic{d})
+	fresh, absorbed := b.Filter([]Diagnostic{d, d})
+	if len(fresh) != 1 || absorbed != 1 {
+		t.Errorf("multiset budget: fresh=%d absorbed=%d, want 1/1", len(fresh), absorbed)
+	}
+}
+
+// TestBaselineNil checks a nil baseline absorbs nothing.
+func TestBaselineNil(t *testing.T) {
+	var b *Baseline
+	d := diag("hotalloc", "a.go", "make in a hot-path function", 3)
+	fresh, absorbed := b.Filter([]Diagnostic{d})
+	if len(fresh) != 1 || absorbed != 0 {
+		t.Errorf("nil baseline: fresh=%d absorbed=%d, want 1/0", len(fresh), absorbed)
+	}
+}
+
+// TestBaselineErrors checks the load-time validation paths.
+func TestBaselineErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("loading malformed JSON should fail")
+	}
+	wrongVersion := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version": 9, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(wrongVersion); err == nil {
+		t.Error("loading an unsupported version should fail")
+	}
+}

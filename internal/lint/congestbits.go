@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// defaultMaxWireBits bounds payload sizes when the congest package does
+// not export a MaxWireBits constant (analyzer fixtures may omit it). The
+// real bound lives next to the Wire type so the engine and the analyzer
+// agree on one number.
+const defaultMaxWireBits = 128
+
+// CongestbitsAnalyzer audits the CONGEST message-size contract at the
+// encoder level. The model allows O(log n) bits per edge per round, which
+// this repository concretizes as the congest.MaxWireBits constant; the
+// engine meters sizes at runtime through Wire.Bits, so every Wire()
+// encoder must declare Bits as a positive constant within the budget —
+// an encoder that omits Bits ships size-0 messages and silently defeats
+// the metering. When the payload type also has the documentation-level
+// `Bits() int` method, the two declared sizes must agree.
+var CongestbitsAnalyzer = &Analyzer{
+	Name: "congestbits",
+	Doc:  "Wire() encoders declare constant bit sizes within the congest.MaxWireBits budget",
+	Run:  runCongestbits,
+}
+
+func runCongestbits(pass *Pass) {
+	pkg := pass.Pkg
+	type encoder struct {
+		fd   *ast.FuncDecl
+		recv string
+	}
+	var encoders []encoder
+	bitsMethods := make(map[string]*ast.FuncDecl) // receiver type name -> Bits() decl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			switch {
+			case isWireEncoder(pkg, fd):
+				encoders = append(encoders, encoder{fd: fd, recv: recvTypeName(fd)})
+			case fd.Name.Name == "Bits":
+				bitsMethods[recvTypeName(fd)] = fd
+			}
+		}
+	}
+	if len(encoders) == 0 {
+		return
+	}
+	for _, enc := range encoders {
+		ast.Inspect(enc.fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isCongestWire(pkg.Info.TypeOf(lit)) {
+				return true
+			}
+			bitsExpr := fieldValue(lit, "Bits")
+			if bitsExpr == nil {
+				pass.Reportf(pkg, lit.Pos(),
+					"Wire() encoder does not declare Bits; undeclared sizes defeat the engine's CONGEST metering")
+				return true
+			}
+			tv, ok := pkg.Info.Types[bitsExpr]
+			if !ok || tv.Value == nil {
+				pass.Reportf(pkg, bitsExpr.Pos(),
+					"Wire() encoder's Bits is not a compile-time constant; the CONGEST budget cannot be audited statically")
+				return true
+			}
+			bits := constTVInt(tv)
+			bound := maxWireBits(pkg.Info.TypeOf(lit))
+			switch {
+			case bits <= 0:
+				pass.Reportf(pkg, bitsExpr.Pos(),
+					"Wire() encoder declares %d bits; payloads must be at least one bit", bits)
+			case bits > bound:
+				pass.Reportf(pkg, bitsExpr.Pos(),
+					"Wire() encoder declares %d bits, exceeding the congest.MaxWireBits = %d O(log n) budget", bits, bound)
+			}
+			if bm, ok := bitsMethods[enc.recv]; ok {
+				if declared, ok := bitsMethodValue(pkg, bm); ok && declared != bits {
+					pass.Reportf(pkg, bitsExpr.Pos(),
+						"Wire() encoder declares %d bits but %s.Bits() reports %d; the two declarations must agree",
+						bits, enc.recv, declared)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recvTypeName returns the receiver's type name ("" if unresolvable).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// maxWireBits reads the MaxWireBits constant from the congest package
+// that declares the Wire type, defaulting when absent.
+func maxWireBits(wireType types.Type) int64 {
+	named, ok := wireType.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return defaultMaxWireBits
+	}
+	c, ok := named.Obj().Pkg().Scope().Lookup("MaxWireBits").(*types.Const)
+	if !ok {
+		return defaultMaxWireBits
+	}
+	return constInt(c)
+}
+
+// bitsMethodValue extracts the constant a `Bits() int` method returns,
+// when its body is the documented single-constant-return shape.
+func bitsMethodValue(pkg *Package, fd *ast.FuncDecl) (int64, bool) {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return 0, false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return 0, false
+	}
+	tv, ok := pkg.Info.Types[ret.Results[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constTVInt(tv), true
+}

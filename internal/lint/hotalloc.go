@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotallocAnalyzer guards the zero-allocation message hot path. The
+// engine's steady-state round — send, scatter, deliver — performs zero
+// heap allocations, an invariant the AllocsPerRun gates enforce at
+// runtime; this analyzer enforces it structurally so a refactor cannot
+// reintroduce an allocation that the gate only catches later (or only on
+// a code path the gate's workload misses).
+//
+// Functions opt in with a //congest:hotpath doc-comment directive.
+// Inside a marked function the analyzer flags the constructs that
+// allocate (or defeat escape analysis):
+//
+//   - closures (func literals) and goroutine spawns,
+//   - make and new calls,
+//   - heap-escaping composite literals (&T{...}),
+//   - append to a fresh slice (nil, composite-literal, or make operand),
+//   - implicit interface conversions of non-pointer values — call
+//     arguments, assignments, returns, and explicit conversions — which
+//     box their operand.
+//
+// Cold branches inside a hot function — error construction, grow paths —
+// are exempted statement-by-statement with //congest:coldpath, keeping
+// the escape visible and narrow.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //congest:hotpath contain no allocating constructs",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHas(fd.Doc, DirHotpath) {
+				continue
+			}
+			h := &hotWalker{pass: pass, pkg: pkg, sig: pkg.Info.Defs[fd.Name].Type().(*types.Signature)}
+			ast.Inspect(fd.Body, h.visit)
+		}
+	}
+}
+
+type hotWalker struct {
+	pass *Pass
+	pkg  *Package
+	sig  *types.Signature // the hot function's own signature, for returns
+}
+
+func (h *hotWalker) visit(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	if stmt, ok := n.(ast.Stmt); ok && h.pkg.markedAt(h.pass.Module, stmt.Pos(), DirColdpath) {
+		return false // cold branch: skip the whole subtree
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		h.pass.Reportf(h.pkg, n.Pos(), "closure literal in a hot-path function allocates; hoist it out of the hot path")
+		return false
+	case *ast.GoStmt:
+		h.pass.Reportf(h.pkg, n.Pos(), "goroutine spawn in a hot-path function allocates a stack per call")
+		return true
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				h.pass.Reportf(h.pkg, n.Pos(), "heap-escaping composite literal (&T{...}) in a hot-path function")
+			}
+		}
+	case *ast.CallExpr:
+		h.checkCall(n)
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break // x, y = f() — conversion happens at the call result, skip
+			}
+			if n.Tok == token.DEFINE {
+				continue // defines take the RHS type verbatim; no conversion
+			}
+			h.checkConversion(n.Rhs[i], h.pkg.Info.TypeOf(lhs), "assignment to")
+		}
+	case *ast.ReturnStmt:
+		results := h.sig.Results()
+		if len(n.Results) == results.Len() {
+			for i, res := range n.Results {
+				h.checkConversion(res, results.At(i).Type(), "return into")
+			}
+		}
+	}
+	return true
+}
+
+// checkCall flags allocating builtins and implicit interface conversions
+// at call boundaries.
+func (h *hotWalker) checkCall(call *ast.CallExpr) {
+	// Builtins: make/new allocate; append to a fresh slice allocates.
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := h.pkg.Info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "make", "new":
+				h.pass.Reportf(h.pkg, call.Pos(), "%s in a hot-path function allocates; reuse a preallocated buffer", ident.Name)
+			case "append":
+				if len(call.Args) > 0 && freshSlice(h.pkg, call.Args[0]) {
+					h.pass.Reportf(h.pkg, call.Pos(), "append to a fresh slice in a hot-path function allocates; append to a reused, grow-only buffer")
+				}
+			}
+			return
+		}
+	}
+	tv, ok := h.pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): boxing if T is an interface.
+		if len(call.Args) == 1 {
+			h.checkConversion(call.Args[0], tv.Type, "conversion to")
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // arg is already the []T; no per-element conversion
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		h.checkConversion(arg, paramType, "argument to interface parameter of")
+	}
+}
+
+// checkConversion reports expr being converted to target when that
+// conversion boxes: target is an interface, expr's static type is a
+// concrete non-pointer-shaped value (pointers, channels, maps, and funcs
+// fit the interface word and do not allocate).
+func (h *hotWalker) checkConversion(expr ast.Expr, target types.Type, context string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := h.pkg.Info.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil || types.IsInterface(tv.Type) {
+		return
+	}
+	if pointerShaped(tv.Type) {
+		return
+	}
+	h.pass.Reportf(h.pkg, expr.Pos(),
+		"%s %s boxes a %s value in a hot-path function; interface conversions of non-pointer values allocate",
+		context, target, tv.Type)
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// freshSlice reports whether expr denotes a slice that did not exist
+// before this statement: nil, a composite literal, or a make call.
+func freshSlice(pkg *Package, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if ident, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && ident.Name == "make" {
+			_, isBuiltin := pkg.Info.Uses[ident].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.Ident:
+		if tv, ok := pkg.Info.Types[e]; ok && tv.IsNil() {
+			return true
+		}
+	}
+	return false
+}

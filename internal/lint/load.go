@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Files holds the parsed non-test source files, sorted by filename.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+
+	comments commentIndex // filename -> line -> comment texts, built lazily
+}
+
+// Module is a loaded, type-checked set of packages sharing one FileSet.
+type Module struct {
+	// Path is the module path ("repro"); scope decisions use paths
+	// relative to it.
+	Path string
+	// Root is the module root directory diagnostics are relativized to.
+	Root string
+	Fset *token.FileSet
+	// Pkgs are the analyzed packages in ascending import-path order.
+	Pkgs []*Package
+
+	byPath  map[string]*Package
+	srcDirs map[string]string // module import path -> source dir
+	loading map[string]bool   // import-cycle guard
+	imp     types.Importer    // export-data importer for out-of-module deps
+	typeErr []error
+}
+
+// Rel returns pkgPath relative to the module path ("" for the root
+// package, the path unchanged when it is not under the module).
+func (m *Module) Rel(pkgPath string) string {
+	if pkgPath == m.Path {
+		return ""
+	}
+	return strings.TrimPrefix(pkgPath, m.Path+"/")
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a gc-export-data importer over the Export files
+// `go list -export` reported. This is how misvet type-checks against the
+// standard library without golang.org/x/tools: the toolchain's own
+// compiled export data backs every out-of-module import.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q (not reported by go list -export)", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// LoadModule loads and type-checks every package of the Go module rooted
+// at root (equivalent to `./...`). Test files are never loaded — see
+// scope.go for the rationale. Out-of-module imports (the standard
+// library) are resolved from compiler export data via `go list -export`,
+// so loading needs no network and no third-party packages.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(root, "-e", "-export", "-json", "-deps", "./...")
+	if err != nil {
+		return nil, err
+	}
+	m := newModule(root)
+	exports := make(map[string]string)
+	for _, p := range listed {
+		inModule := !p.Standard &&
+			(strings.HasPrefix(p.Dir, root+string(filepath.Separator)) || p.Dir == root)
+		if inModule {
+			if p.Module != nil && m.Path == "" {
+				m.Path = p.Module.Path
+			}
+			m.srcDirs[p.ImportPath] = p.Dir
+		} else if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	if len(m.srcDirs) == 0 {
+		return nil, fmt.Errorf("lint: no module packages found under %s", root)
+	}
+	if m.Path == "" {
+		// Fallback: the shortest listed module import path is the root.
+		for path := range m.srcDirs {
+			if m.Path == "" || len(path) < len(m.Path) {
+				m.Path = path
+			}
+		}
+	}
+	m.imp = exportImporter(m.Fset, exports)
+	return m, m.loadAll()
+}
+
+// LoadTree loads every package under srcRoot, mapping directory paths to
+// import paths verbatim (srcRoot/a/b -> import path "a/b"). It exists for
+// the analyzer fixture tests, whose testdata trees mirror module layouts
+// (testdata/src/repro/internal/... packages). modulePath scopes the tree
+// the same way LoadModule's go.mod path does. Standard-library imports
+// used by fixtures are resolved through `go list -export`.
+func LoadTree(srcRoot, modulePath string) (*Module, error) {
+	srcRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	m := newModule(srcRoot)
+	m.Path = modulePath
+	if err := filepath.Walk(srcRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.IsDir() {
+			return err
+		}
+		files, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		m.srcDirs[filepath.ToSlash(rel)] = path
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(m.srcDirs) == 0 {
+		return nil, fmt.Errorf("lint: no packages under %s", srcRoot)
+	}
+	external, err := m.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		listed, err := goList(srcRoot, append([]string{"-e", "-export", "-json", "-deps"}, external...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	m.imp = exportImporter(m.Fset, exports)
+	return m, m.loadAll()
+}
+
+func newModule(root string) *Module {
+	return &Module{
+		Root:    root,
+		Fset:    token.NewFileSet(),
+		byPath:  make(map[string]*Package),
+		srcDirs: make(map[string]string),
+		loading: make(map[string]bool),
+	}
+}
+
+// sourceFiles lists dir's non-test .go files in sorted order.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// externalImports parses every tree package's imports and returns the
+// ones no in-tree package provides (the standard-library dependencies).
+func (m *Module) externalImports() ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, dir := range m.srcDirs {
+		files, err := sourceFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, file := range files {
+			f, err := parser.ParseFile(m.Fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, local := m.srcDirs[path]; local || path == "unsafe" || seen[path] {
+					continue
+				}
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// loadAll type-checks every source package in import-path order.
+func (m *Module) loadAll() error {
+	paths := make([]string, 0, len(m.srcDirs))
+	for path := range m.srcDirs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := m.load(path); err != nil {
+			return err
+		}
+	}
+	// Recursive imports append dependencies before their importers;
+	// restore import-path order so analysis and reports are stable.
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	if len(m.typeErr) > 0 {
+		msgs := make([]string, 0, len(m.typeErr))
+		for i, err := range m.typeErr {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(m.typeErr)-i))
+				break
+			}
+			msgs = append(msgs, err.Error())
+		}
+		return fmt.Errorf("lint: type errors:\n%s", strings.Join(msgs, "\n"))
+	}
+	return nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// importPkg resolves one import: in-tree packages are type-checked from
+// source (shared object identity with the analyzed packages), everything
+// else comes from export data.
+func (m *Module) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := m.srcDirs[path]; ok {
+		p, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.imp.Import(path)
+}
+
+// load parses and type-checks one source package (memoized).
+func (m *Module) load(path string) (*Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	dir := m.srcDirs[path]
+	filenames, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(m.importPkg),
+		Error: func(err error) {
+			var te types.Error
+			if errors.As(err, &te) && te.Soft {
+				return
+			}
+			m.typeErr = append(m.typeErr, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, m.Fset, files, info)
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	m.byPath[path] = p
+	m.Pkgs = append(m.Pkgs, p)
+	return p, nil
+}

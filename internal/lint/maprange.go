@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MaprangeAnalyzer flags `range` over a map inside deterministic
+// packages. Go randomizes map iteration order per execution, so any map
+// range whose body's effect is order-sensitive silently breaks the
+// bit-identical-replay contract — historically the most common way a
+// deterministic Go codebase rots.
+//
+// One shape is exempt because it is order-insensitive by construction:
+// the collect-then-sort idiom, where the loop body does nothing but
+// append keys (or values) to a slice that the surrounding code sorts
+// before use:
+//
+//	keys := make([]uint64, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)
+//
+// Anything else — including delete-loops, which should use the clear()
+// builtin — is reported. //lint:advisory escapes apply as usual.
+var MaprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid order-sensitive map iteration in deterministic packages",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *Pass) {
+	pkg := pass.Pkg
+	if !pass.Module.Deterministic(pkg.Path) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnlyBody(rs.Body) {
+				return true
+			}
+			pass.Reportf(pkg, rs.Pos(),
+				"range over map (%s): iteration order is randomized; collect the keys into a slice and sort before iterating (map clears should use the clear builtin)", t)
+			return true
+		})
+	}
+}
+
+// collectOnlyBody reports whether every statement in the loop body is an
+// append of the iteration variables onto a slice (`xs = append(xs, k)`),
+// the order-insensitive half of the collect-then-sort idiom.
+func collectOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return false
+		}
+	}
+	return true
+}

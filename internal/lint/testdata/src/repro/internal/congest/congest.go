@@ -1,0 +1,22 @@
+// Package congest is the fixture tree's stand-in for the real engine
+// package. The wirekind and congestbits analyzers match the Wire and
+// WireKind type names by their package's "internal/congest" path suffix,
+// so the fixtures can exercise the wire contracts against this skeleton
+// without importing (or depending on the shape of) the real engine.
+package congest
+
+// Wire mirrors the engine's value-typed payload record.
+type Wire struct {
+	// Kind tags the payload family; zero is invalid.
+	Kind WireKind
+	// Bits is the payload's declared encoded size.
+	Bits uint16
+	// A and B are the payload words.
+	A, B uint64
+}
+
+// WireKind tags the payload family packed into a Wire.
+type WireKind uint8
+
+// MaxWireBits mirrors the engine's O(log n) CONGEST budget.
+const MaxWireBits = 128

@@ -1,0 +1,72 @@
+// Package fixhot exercises the hotalloc analyzer. It lives under
+// internal/exp — outside the deterministic scope — so the goroutine spawn
+// below is attributed to hotalloc alone; the analyzer itself is opt-in
+// per function and runs everywhere.
+package fixhot
+
+// point is a small non-pointer-shaped value for boxing tests.
+type point struct{ x int }
+
+// sink accepts a boxed value.
+func sink(v any) { _ = v }
+
+// sinkAll accepts boxed values variadically.
+func sinkAll(vs ...any) { _ = vs }
+
+// Hot exercises every allocating construct inside one marked function.
+//
+//congest:hotpath
+func Hot(n int) {
+	f := func() {} // want "closure literal in a hot-path function"
+	go f()         // want "goroutine spawn in a hot-path function"
+
+	p := &point{x: n}           // want "heap-escaping composite literal"
+	buf := make([]int, n)       // want "make in a hot-path function"
+	q := new(point)             // want "new in a hot-path function"
+	fresh := append([]int{}, n) // want "append to a fresh slice"
+
+	sink(n) // want "argument to interface parameter"
+	sink(p) // pointer-shaped: fits the interface word, no boxing
+
+	sinkAll(n, p) // want "argument to interface parameter"
+
+	v := any(n) // want "conversion to"
+	var w any
+	w = n // want "assignment to"
+
+	_, _, _, _, _, _ = p, buf, q, fresh, v, w
+}
+
+// boxed is pre-boxed storage for the ellipsis-spread case.
+var boxed []any
+
+// HotSpread shows the ellipsis spread staying clean.
+//
+//congest:hotpath
+func HotSpread() {
+	sinkAll(boxed...)
+}
+
+// HotBox returns a value through an interface result.
+//
+//congest:hotpath
+func HotBox(n int) any {
+	return n // want "return into"
+}
+
+// HotGrow carves out its grow path with the coldpath directive.
+//
+//congest:hotpath
+func HotGrow(buf []int, n int) []int {
+	if n > cap(buf) {
+		//congest:coldpath the grow path runs O(log) times per run
+		buf = make([]int, n)
+	}
+	return buf
+}
+
+// Cold is unmarked: the same constructs are fine here.
+func Cold(n int) []int {
+	out := make([]int, n)
+	return append(out, n)
+}

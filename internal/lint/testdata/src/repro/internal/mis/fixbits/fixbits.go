@@ -1,0 +1,99 @@
+// Package fixbits exercises the congestbits analyzer: every encoder-side
+// violation of the CONGEST message-size contract. The kind namespace here
+// is deliberately clean — unique tags from 10 up, one encoder and one
+// decoder per kind — so the module-level wirekind analyzer stays quiet.
+package fixbits
+
+import "repro/internal/congest"
+
+// Wire kind tags for the payloads under test.
+const (
+	// WireClean tags the well-formed payload.
+	WireClean congest.WireKind = 10
+	// WireNoBits tags the payload whose encoder omits Bits.
+	WireNoBits congest.WireKind = 11
+	// WireVarBits tags the payload whose size is not a constant.
+	WireVarBits congest.WireKind = 12
+	// WireZeroBits tags the payload that declares zero bits.
+	WireZeroBits congest.WireKind = 13
+	// WireHuge tags the payload that blows the budget.
+	WireHuge congest.WireKind = 14
+	// WireLiar tags the payload whose Bits() method disagrees.
+	WireLiar congest.WireKind = 15
+)
+
+// Clean is well-formed: constant Bits within budget, agreeing with the
+// documentation-level Bits() method.
+type Clean struct{ V uint64 }
+
+// Bits reports the payload size.
+func (Clean) Bits() int { return 64 }
+
+// Wire encodes Clean.
+func (c Clean) Wire() congest.Wire { return congest.Wire{Kind: WireClean, Bits: 64, A: c.V} }
+
+// AsClean decodes Clean.
+func AsClean(w congest.Wire) (Clean, bool) {
+	if w.Kind != WireClean {
+		return Clean{}, false
+	}
+	return Clean{V: w.A}, true
+}
+
+// NoBits omits the Bits field, shipping size-0 messages past the meter.
+type NoBits struct{}
+
+// Wire encodes NoBits, badly.
+func (NoBits) Wire() congest.Wire {
+	return congest.Wire{Kind: WireNoBits} // want "does not declare Bits"
+}
+
+// AsNoBits decodes NoBits.
+func AsNoBits(w congest.Wire) bool { return w.Kind == WireNoBits }
+
+// VarBits declares a run-time size the static audit cannot bound.
+type VarBits struct{ N uint16 }
+
+// Wire encodes VarBits, badly.
+func (v VarBits) Wire() congest.Wire {
+	return congest.Wire{Kind: WireVarBits, Bits: v.N} // want "not a compile-time constant"
+}
+
+// AsVarBits decodes VarBits.
+func AsVarBits(w congest.Wire) bool { return w.Kind == WireVarBits }
+
+// ZeroBits declares an impossible zero-bit payload.
+type ZeroBits struct{}
+
+// Wire encodes ZeroBits, badly.
+func (ZeroBits) Wire() congest.Wire {
+	return congest.Wire{Kind: WireZeroBits, Bits: 0} // want "at least one bit"
+}
+
+// AsZeroBits decodes ZeroBits.
+func AsZeroBits(w congest.Wire) bool { return w.Kind == WireZeroBits }
+
+// Huge declares more bits than the congest.MaxWireBits budget.
+type Huge struct{}
+
+// Wire encodes Huge, badly.
+func (Huge) Wire() congest.Wire {
+	return congest.Wire{Kind: WireHuge, Bits: 256} // want "exceeding the congest.MaxWireBits"
+}
+
+// AsHuge decodes Huge.
+func AsHuge(w congest.Wire) bool { return w.Kind == WireHuge }
+
+// Liar declares one size on the wire and another in its Bits() method.
+type Liar struct{}
+
+// Bits reports a size the encoder contradicts.
+func (Liar) Bits() int { return 32 }
+
+// Wire encodes Liar, badly.
+func (Liar) Wire() congest.Wire {
+	return congest.Wire{Kind: WireLiar, Bits: 16} // want "the two declarations must agree"
+}
+
+// AsLiar decodes Liar.
+func AsLiar(w congest.Wire) bool { return w.Kind == WireLiar }

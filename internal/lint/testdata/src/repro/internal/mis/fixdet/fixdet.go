@@ -1,0 +1,52 @@
+// Package fixdet exercises the determinism analyzer: each construct the
+// bit-identical-replay contract forbids, plus every shape of the
+// //lint:advisory escape hatch. The package sits under internal/mis, so
+// the deterministic scope binds it.
+package fixdet
+
+import (
+	"math/rand" // want "deterministic package imports math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// counter exists so the method form of atomics can be exercised; the
+// declaration itself is legal, only operations are flagged.
+var counter atomic.Int64
+
+// Draw reads the two state sources a seed cannot replay.
+func Draw() int64 {
+	now := time.Now() // want "call of time.Now in a deterministic package"
+	return rand.Int63() + now.Unix()
+}
+
+// Spawn forks concurrency the seed does not schedule.
+func Spawn(work func()) {
+	go work() // want "goroutine spawn in a deterministic package"
+}
+
+// Count uses atomics both as package functions and as methods.
+func Count(p *int64) int64 {
+	atomic.AddInt64(p, 1) // want "sync/atomic operation AddInt64 in a deterministic package"
+	return counter.Add(1) // want "sync/atomic operation Add in a deterministic package"
+}
+
+// SameLine exercises the same-line advisory escape.
+func SameLine() time.Time {
+	return time.Now() //lint:advisory fixture: documented advisory clock read
+}
+
+// LineAbove exercises the line-above advisory escape.
+func LineAbove(work func()) {
+	//lint:advisory fixture: scheduling here is documented as invisible
+	go work()
+}
+
+// DocEscape exercises the function-doc advisory escape: both findings
+// inside are suppressed by the single directive below.
+//
+//lint:advisory fixture: the whole function is advisory instrumentation
+func DocEscape() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,42 @@
+// Package fixmap exercises the maprange analyzer: bare map iteration is
+// flagged, the collect-then-sort idiom and the clear builtin are not, and
+// the advisory escape applies.
+package fixmap
+
+import "sort"
+
+// Sum iterates a map directly; its result is order-insensitive but the
+// analyzer cannot know that, so the loop is flagged.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// Keys is the sanctioned collect-then-sort idiom: the body only appends,
+// and the caller-visible order comes from the sort.
+func Keys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Reset clears with the builtin instead of a delete-loop.
+func Reset(m map[int]int) {
+	clear(m)
+}
+
+// Observed carries a documented advisory iteration.
+func Observed(m map[int]int) int {
+	n := 0
+	//lint:advisory fixture: pure count, order-insensitive by construction
+	for range m {
+		n++
+	}
+	return n
+}

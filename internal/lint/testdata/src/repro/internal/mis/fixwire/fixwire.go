@@ -1,0 +1,103 @@
+// Package fixwire exercises the wirekind analyzer: tag-value rules,
+// encoder/decoder coverage, and kind-switch validation. Every encoder
+// declares a legal constant Bits so the congestbits analyzer stays quiet;
+// its violations live in the fixbits fixture.
+package fixwire
+
+import "repro/internal/congest"
+
+// Wire kind tags under test. Tags 1-3 are reserved by this package;
+// fixbits uses 10 and up so the module-wide uniqueness check only fires
+// where this file intends it to.
+const (
+	// WireZero breaks the tags-start-at-1 rule.
+	WireZero congest.WireKind = 0 // want "has non-positive tag 0"
+	// WireGood is fully wired: one encoder, one decoder.
+	WireGood congest.WireKind = 1
+	// WireDup collides with WireGood.
+	WireDup congest.WireKind = 1 // want "duplicate wire kind tag 1"
+	// WireOrphan has neither an encoder nor a decoder.
+	WireOrphan congest.WireKind = 2 // want "has no Wire\\(\\) encoder" "has no As\\* decoder"
+	// WireTwice is claimed by two encoders.
+	WireTwice congest.WireKind = 3 // want "is set by 2 Wire\\(\\) encoders"
+)
+
+// Good is the well-formed payload.
+type Good struct{ V uint64 }
+
+// Wire encodes Good.
+func (g Good) Wire() congest.Wire {
+	return congest.Wire{Kind: WireGood, Bits: 64, A: g.V}
+}
+
+// AsGood decodes Good.
+func AsGood(w congest.Wire) (Good, bool) {
+	if w.Kind != WireGood {
+		return Good{}, false
+	}
+	return Good{V: w.A}, true
+}
+
+// Twice1 is the first claimant of WireTwice.
+type Twice1 struct{}
+
+// Wire encodes Twice1.
+func (Twice1) Wire() congest.Wire { return congest.Wire{Kind: WireTwice, Bits: 8} }
+
+// Twice2 is the second claimant of WireTwice.
+type Twice2 struct{}
+
+// Wire encodes Twice2.
+func (Twice2) Wire() congest.Wire { return congest.Wire{Kind: WireTwice, Bits: 8} }
+
+// AsTwice decodes the contested kind.
+func AsTwice(w congest.Wire) bool { return w.Kind == WireTwice }
+
+// Kindless forgets the Kind field, shipping detectably-invalid zero.
+type Kindless struct{}
+
+// Wire encodes Kindless, badly.
+func (Kindless) Wire() congest.Wire {
+	return congest.Wire{Bits: 8} // want "builds a congest.Wire without setting Kind"
+}
+
+// Rogue sets Kind to a conversion instead of a declared constant, so the
+// namespace audit cannot see which kind it claims.
+type Rogue struct{}
+
+// Wire encodes Rogue, badly.
+func (Rogue) Wire() congest.Wire {
+	return congest.Wire{Kind: congest.WireKind(9), Bits: 8} // want "not a declared wire kind constant"
+}
+
+// Indirect builds its record elsewhere, so the kind cannot be audited.
+type Indirect struct{}
+
+// Wire encodes Indirect through a helper.
+func (Indirect) Wire() congest.Wire { // want "never builds a congest.Wire literal"
+	return passthrough()
+}
+
+// passthrough launders a record built by a real encoder.
+func passthrough() congest.Wire { return Good{V: 1}.Wire() }
+
+// Name switches over declared kinds plus one rogue label.
+func Name(k congest.WireKind) string {
+	switch k {
+	case WireGood:
+		return "good"
+	case congest.WireKind(42): // want "kind-switch case .* is not a declared wire kind constant"
+		return "rogue"
+	}
+	return ""
+}
+
+// Registry claims exhaustiveness but covers one kind.
+func Registry(k congest.WireKind) string {
+	//wirekind:exhaustive
+	switch k { // want "is missing"
+	case WireGood:
+		return "good"
+	}
+	return ""
+}

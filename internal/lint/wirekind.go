@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WirekindAnalyzer closes the wire-kind namespace. Wire payloads travel
+// the engine as value-typed congest.Wire records whose Kind tag is the
+// only dispatch information a receiver has, so the tag space must be
+// airtight: every declared congest.WireKind constant must be non-zero
+// (zero is the detectably-invalid value), unique module-wide, encoded by
+// exactly one Wire() method, and decodable by at least one As* function.
+// Switches over a WireKind value may only use declared kind constants as
+// case labels, and a switch marked //wirekind:exhaustive (the canonical
+// kind registries, e.g. proto.KindName) must enumerate every declared
+// kind.
+var WirekindAnalyzer = &Analyzer{
+	Name:        "wirekind",
+	Doc:         "wire-kind tags are unique, encoded, decoded, and switched exhaustively",
+	ModuleLevel: true,
+	Run:         runWirekind,
+}
+
+// isCongestNamed reports whether t is the named type name declared in an
+// internal/congest package (matched by path suffix so analyzer fixtures
+// can supply a stand-in congest package).
+func isCongestNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "congest" || strings.HasSuffix(obj.Pkg().Path(), "internal/congest"))
+}
+
+func isWireKind(t types.Type) bool    { return t != nil && isCongestNamed(t, "WireKind") }
+func isCongestWire(t types.Type) bool { return t != nil && isCongestNamed(t, "Wire") }
+func constInt(c *types.Const) int64   { v, _ := constant.Int64Val(constant.ToInt(c.Val())); return v }
+
+// constTVInt extracts the int value of a constant expression's
+// TypeAndValue.
+func constTVInt(tv types.TypeAndValue) int64 {
+	v, _ := constant.Int64Val(constant.ToInt(tv.Value))
+	return v
+}
+func constLabel(c *types.Const) string { return c.Pkg().Name() + "." + c.Name() }
+
+// kindConst is one declared wire-kind constant.
+type kindConst struct {
+	obj *types.Const
+	pkg *Package
+	pos token.Pos
+}
+
+func runWirekind(pass *Pass) {
+	kinds := collectKindConsts(pass.Module)
+	if len(kinds) == 0 {
+		return
+	}
+	byObj := make(map[*types.Const]*kindConst, len(kinds))
+	for i := range kinds {
+		byObj[kinds[i].obj] = &kinds[i]
+	}
+
+	// Tag values: non-zero and unique module-wide. Kinds that fail here
+	// are excluded from the encoder/decoder/exhaustiveness checks below —
+	// one actionable finding per broken constant, not a cascade.
+	bad := make(map[*types.Const]bool)
+	firstByValue := make(map[int64]*kindConst)
+	for i := range kinds {
+		k := &kinds[i]
+		val := constInt(k.obj)
+		if val <= 0 {
+			pass.Reportf(k.pkg, k.pos,
+				"wire kind %s has non-positive tag %d; tags start at 1 so the zero Wire is detectably invalid",
+				constLabel(k.obj), val)
+			bad[k.obj] = true
+			continue
+		}
+		if prev, ok := firstByValue[val]; ok {
+			pass.Reportf(k.pkg, k.pos,
+				"duplicate wire kind tag %d: %s collides with %s",
+				val, constLabel(k.obj), constLabel(prev.obj))
+			bad[k.obj] = true
+			continue
+		}
+		firstByValue[val] = k
+	}
+
+	encoders := make(map[*types.Const]int)
+	decoded := make(map[*types.Const]bool)
+	for _, pkg := range pass.Module.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				switch {
+				case isWireEncoder(pkg, fd):
+					scanEncoder(pass, pkg, fd, byObj, encoders)
+				case isWireDecoder(pkg, fd):
+					markDecoded(pkg, fd, byObj, decoded)
+				}
+			}
+			scanKindSwitches(pass, pkg, file, kinds, byObj, bad)
+		}
+	}
+
+	for i := range kinds {
+		k := &kinds[i]
+		if bad[k.obj] {
+			continue
+		}
+		label := constLabel(k.obj)
+		switch encoders[k.obj] {
+		case 0:
+			pass.Reportf(k.pkg, k.pos, "wire kind %s has no Wire() encoder setting it as Kind", label)
+		case 1:
+		default:
+			pass.Reportf(k.pkg, k.pos, "wire kind %s is set by %d Wire() encoders; payload types and kinds must map one-to-one",
+				label, encoders[k.obj])
+		}
+		if !decoded[k.obj] {
+			pass.Reportf(k.pkg, k.pos, "wire kind %s has no As* decoder checking for it", label)
+		}
+	}
+}
+
+// collectKindConsts gathers every congest.WireKind constant declared in
+// the module, in deterministic (package, position) order.
+func collectKindConsts(m *Module) []kindConst {
+	var kinds []kindConst
+	for _, pkg := range m.Pkgs {
+		for ident, obj := range pkg.Info.Defs {
+			c, ok := obj.(*types.Const)
+			if !ok || !isWireKind(c.Type()) {
+				continue
+			}
+			kinds = append(kinds, kindConst{obj: c, pkg: pkg, pos: ident.Pos()})
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if kinds[i].pkg.Path != kinds[j].pkg.Path {
+			return kinds[i].pkg.Path < kinds[j].pkg.Path
+		}
+		return kinds[i].pos < kinds[j].pos
+	})
+	return kinds
+}
+
+// isWireEncoder reports whether fd is a `func (T) Wire() congest.Wire`
+// method.
+func isWireEncoder(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Wire" || fd.Recv == nil || fd.Type.Results == nil ||
+		len(fd.Type.Results.List) != 1 {
+		return false
+	}
+	return isCongestWire(pkg.Info.TypeOf(fd.Type.Results.List[0].Type))
+}
+
+// isWireDecoder reports whether fd is an `As*` package function taking a
+// congest.Wire parameter.
+func isWireDecoder(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "As") || fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isCongestWire(pkg.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanEncoder inspects one Wire() method: its congest.Wire composite
+// literals must set Kind to a declared kind constant.
+func scanEncoder(pass *Pass, pkg *Package, fd *ast.FuncDecl, byObj map[*types.Const]*kindConst, encoders map[*types.Const]int) {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isCongestWire(pkg.Info.TypeOf(lit)) {
+			return true
+		}
+		found = true
+		kindExpr := fieldValue(lit, "Kind")
+		if kindExpr == nil {
+			pass.Reportf(pkg, lit.Pos(), "Wire() encoder builds a congest.Wire without setting Kind")
+			return true
+		}
+		c := resolveConst(pkg, kindExpr)
+		if c == nil || byObj[c] == nil {
+			pass.Reportf(pkg, kindExpr.Pos(), "Wire() encoder sets Kind to %s, which is not a declared wire kind constant",
+				exprString(kindExpr))
+			return true
+		}
+		encoders[c]++
+		return true
+	})
+	if !found {
+		pass.Reportf(pkg, fd.Pos(), "Wire() encoder never builds a congest.Wire literal; the kind it encodes cannot be audited")
+	}
+}
+
+// markDecoded records every declared kind constant an As* decoder
+// references (typically `if w.Kind != WireFoo`).
+func markDecoded(pkg *Package, fd *ast.FuncDecl, byObj map[*types.Const]*kindConst, decoded map[*types.Const]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if c := resolveConst(pkg, expr); c != nil && byObj[c] != nil {
+			decoded[c] = true
+		}
+		return true
+	})
+}
+
+// scanKindSwitches validates every switch over a WireKind value in file:
+// case labels must be declared kind constants, and //wirekind:exhaustive
+// switches must cover every kind not already reported as bad.
+func scanKindSwitches(pass *Pass, pkg *Package, file *ast.File, kinds []kindConst, byObj map[*types.Const]*kindConst, bad map[*types.Const]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil || !isWireKind(pkg.Info.TypeOf(sw.Tag)) {
+			return true
+		}
+		present := make(map[*types.Const]bool)
+		for _, clause := range sw.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				c := resolveConst(pkg, expr)
+				if c == nil || byObj[c] == nil {
+					pass.Reportf(pkg, expr.Pos(),
+						"kind-switch case %s is not a declared wire kind constant", exprString(expr))
+					continue
+				}
+				present[c] = true
+			}
+		}
+		if pkg.markedAt(pass.Module, sw.Pos(), DirExhaustive) {
+			var missing []string
+			for i := range kinds {
+				if !present[kinds[i].obj] && !bad[kinds[i].obj] {
+					missing = append(missing, constLabel(kinds[i].obj))
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(pkg, sw.Pos(),
+					"kind-switch marked %s is missing %s", DirExhaustive, strings.Join(missing, ", "))
+			}
+		}
+		return true
+	})
+}
+
+// fieldValue returns the value of the named field in a keyed composite
+// literal, or nil if absent.
+func fieldValue(lit *ast.CompositeLit, name string) ast.Expr {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == name {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// resolveConst resolves an identifier or selector expression to the
+// constant object it names, unwrapping conversions like WireKind(x).
+func resolveConst(pkg *Package, expr ast.Expr) *types.Const {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		c, _ := pkg.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pkg.Info.Uses[e.Sel].(*types.Const)
+		return c
+	case *ast.ParenExpr:
+		return resolveConst(pkg, e.X)
+	}
+	return nil
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("%T", expr)
+	}
+}

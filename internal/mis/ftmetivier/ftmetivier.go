@@ -106,9 +106,7 @@ func (nd *node) Init(ctx *congest.Context) {
 func (nd *node) startEpoch(ctx *congest.Context, epoch int32) {
 	nd.epoch = epoch
 	nd.priority = ctx.RNG().Uint64()
-	for id := range nd.got {
-		delete(nd.got, id)
-	}
+	clear(nd.got)
 	ctx.Broadcast(proto.EpochPriority{Value: nd.priority, Epoch: epoch}.Wire())
 }
 

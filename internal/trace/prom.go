@@ -23,6 +23,8 @@ type Counter struct {
 
 // Add increments the counter by d (negative deltas are a programming
 // error Prometheus semantics forbid; they are ignored).
+//
+//lint:advisory Prometheus metrics are advisory observability, never program logic
 func (c *Counter) Add(d int64) {
 	if d > 0 {
 		c.v.Add(d)
@@ -30,9 +32,13 @@ func (c *Counter) Add(d int64) {
 }
 
 // Inc increments the counter by one.
+//
+//lint:advisory Prometheus metrics are advisory observability, never program logic
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
+//
+//lint:advisory Prometheus metrics are advisory observability, never program logic
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a metric that can go up and down. Safe for concurrent use.
@@ -42,9 +48,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//lint:advisory Prometheus metrics are advisory observability, never program logic
 func (g *Gauge) Set(x int64) { g.v.Store(x) }
 
 // Value returns the current value.
+//
+//lint:advisory Prometheus metrics are advisory observability, never program logic
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram is a cumulative-bucket histogram with fixed upper bounds.
