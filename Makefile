@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test vet misvet race cover alloc-gate ci bench-engine bench bench-faults bench-trace bench-alloc
+.PHONY: build test vet misvet race cover alloc-gate scale-smoke ci bench-engine bench bench-faults bench-trace bench-alloc bench-scale
 
 build:
 	go build ./...
@@ -54,10 +54,17 @@ cover:
 alloc-gate:
 	go test -run '^TestSteadyStateRound' -count=1 ./internal/congest/
 
+# Scaling smoke: the E19 slice of the cores × n matrix at test size —
+# sequential + pool at two worker counts, fingerprints forced identical
+# (any divergence fails the run). Fast (< 1s); runs in ci. The full
+# production trajectory is `make bench-scale`.
+scale-smoke:
+	go run ./cmd/bench -quick -only E19
+
 # Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
 # repo-wide vet, the misvet analyzer suite, race-detector pass, coverage
-# floors, allocation gate.
-ci: test vet misvet race cover alloc-gate
+# floors, allocation gate, multicore-scaling smoke.
+ci: test vet misvet race cover alloc-gate scale-smoke
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
@@ -81,6 +88,15 @@ bench-trace:
 # baseline embedded in the artifact).
 bench-alloc:
 	go run ./cmd/bench -alloc-bench BENCH_alloc.json -alloc-baseline BENCH_congest.json
+
+# Refresh the seed-pinned cores × n scaling trajectory (E19 / DESIGN.md
+# S27: sequential + pool at workers ∈ {1,2,4,8,GOMAXPROCS} across
+# n ∈ {2^18, 2^20, 2^22}, every cell's clean and faulted fingerprints
+# forced bit-identical). GOMAXPROCS is raised to the widest request for
+# the run; on fewer physical cores the wall-clock curve is hardware-bound
+# and the artifact records num_cpu so the bound is visible.
+bench-scale:
+	go run ./cmd/bench -scale-bench BENCH_scale.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

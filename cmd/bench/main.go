@@ -52,6 +52,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -83,6 +84,11 @@ func run() int {
 	traceBench := flag.String("trace-bench", "", "write tracing-overhead JSON to this file and exit")
 	traceN := flag.Int("trace-n", 1<<14, "graph size for -trace-bench")
 	traceReps := flag.Int("trace-reps", 5, "runs per mode for -trace-bench (best wall time wins)")
+	scaleBench := flag.String("scale-bench", "", "write cores × n scaling JSON to this file and exit")
+	scaleNS := flag.String("scale-ns", "262144,1048576,4194304", "comma-separated graph sizes for -scale-bench")
+	scaleWorkers := flag.String("scale-workers", "1,2,4,8,0", "comma-separated pool worker counts for -scale-bench (0 = GOMAXPROCS)")
+	scaleReps := flag.Int("scale-reps", 2, "timed runs per cell for -scale-bench (best wall time wins)")
+	scaleGPV := flag.Bool("scale-gpv", false, "include the legacy goroutine-per-vertex driver in -scale-bench")
 	allocBench := flag.String("alloc-bench", "", "write allocation-profile JSON to this file and exit")
 	allocN := flag.Int("alloc-n", 1<<14, "graph size for -alloc-bench")
 	allocReps := flag.Int("alloc-reps", 5, "runs per driver for -alloc-bench (best wall time / min allocs win)")
@@ -136,6 +142,9 @@ func run() int {
 	}
 	if *traceBench != "" {
 		return runTraceBench(*traceBench, *traceN, *seed, *traceReps)
+	}
+	if *scaleBench != "" {
+		return runScaleBench(*scaleBench, *scaleNS, *scaleWorkers, *seed, *scaleReps, *scaleGPV)
 	}
 	if *allocBench != "" {
 		return runAllocBench(*allocBench, *allocN, *seed, *allocReps, *allocBaseline)
@@ -259,9 +268,86 @@ func runEngineBench(path string, n int, seed uint64, reps int) int {
 		return 1
 	}
 	for _, d := range report.Drivers {
+		// The pool row reports the worker count the engine resolved the
+		// request to (clamped to GOMAXPROCS and n), so the output is
+		// self-describing on any machine.
+		name := d.Driver
+		if d.Workers > 0 {
+			name = fmt.Sprintf("%s(w=%d)", d.Driver, d.Workers)
+		}
 		fmt.Printf("%-22s n=%d rounds=%d wall=%v rounds/s=%.0f msgs/s=%.0f\n",
-			d.Driver, report.N, d.Rounds, time.Duration(d.WallNS).Round(time.Microsecond),
+			name, report.N, d.Rounds, time.Duration(d.WallNS).Round(time.Microsecond),
 			d.RoundsPerSec, d.MessagesPerSec)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// parseInts parses a comma-separated integer list flag.
+func parseInts(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad entry %q: %v", flagName, part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+// runScaleBench measures the cores × n scaling matrix and writes
+// BENCH_scale.json. Every text row names both the requested and resolved
+// worker counts, so clamped requests are visible at a glance.
+func runScaleBench(path, nsFlag, workersFlag string, seed uint64, reps int, includeGPV bool) int {
+	ns, err := parseInts("-scale-ns", nsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+		return 1
+	}
+	workerSet, err := parseInts("-scale-workers", workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+		return 1
+	}
+	report, err := exp.RunScaleBench(ns, workerSet, seed, reps, includeGPV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "scale bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("cores × n scaling (cpus=%d, gomaxprocs ambient=%d effective=%d)\n",
+		report.NumCPU, report.GoMaxProcsAmbient, report.GoMaxProcsEffective)
+	for _, size := range report.Sizes {
+		for _, e := range size.Entries {
+			name := e.Driver
+			if e.Workers > 0 {
+				name = fmt.Sprintf("%s(w=%d req=%d)", e.Driver, e.Workers, e.WorkersRequested)
+			}
+			stall := ""
+			if e.FaultedStalled {
+				stall = " faulted-stalled"
+			}
+			fmt.Printf("%-24s n=%-8d wall=%-12v speedup=%.2fx msgs/s=%-12.0f rebalances=%-3d fp=%s/%s%s\n",
+				name, size.N, time.Duration(e.WallNS).Round(time.Microsecond), e.SpeedupVsPool1,
+				e.MessagesPerSec, e.Rebalances, e.FingerprintClean, e.FingerprintFaulted, stall)
+		}
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

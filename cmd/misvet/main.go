@@ -150,6 +150,7 @@ func filterPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnosti
 	}
 	var prefixes []string
 	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "/") // "./pkg/" must match like "./pkg"
 		p = strings.TrimPrefix(strings.TrimSuffix(p, "/..."), "./")
 		if p == "" || p == "." {
 			return diags

@@ -96,6 +96,15 @@ func TestFilterPatterns(t *testing.T) {
 	if got := filterPatterns(diags, []string{"./internal/congest"}); len(got) != 1 {
 		t.Errorf("exact package: kept %d, want 1", len(got))
 	}
+	// A trailing slash (shell tab completion) must not defeat the prefix
+	// match — it used to silently filter everything out, reporting a
+	// false "0 finding(s)" for the package.
+	if got := filterPatterns(diags, []string{"./internal/congest/"}); len(got) != 1 {
+		t.Errorf("trailing slash: kept %d, want 1", len(got))
+	}
+	if got := filterPatterns(diags, []string{"./internal/mis/metivier/"}); len(got) != 1 {
+		t.Errorf("trailing slash subpackage: kept %d, want 1", len(got))
+	}
 	if got := filterPatterns(diags, []string{"./internal/exp/..."}); len(got) != 0 {
 		t.Errorf("unmatched pattern: kept %d, want 0", len(got))
 	}

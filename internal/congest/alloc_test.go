@@ -73,6 +73,44 @@ func TestSteadyStateRoundZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateRoundZeroAllocsBucketed extends the gate to the pool
+// driver's destination-bucketed delivery (deliverBuckets/mergeBucket):
+// once the per-destination buckets, frontiers, and arena have grown to
+// steady-state capacity, a bucketed round must allocate nothing. The
+// shards are swept on the test goroutine (the worker barrier is driver
+// plumbing, not allocation behavior) and the coordinator-loop merge runs,
+// which is byte-for-byte the same merge the workers execute in parallel.
+func TestSteadyStateRoundZeroAllocsBucketed(t *testing.T) {
+	const n = 1024
+	r := NewRunner(ringGraph(n), func(int) Node { return steadyBroadcaster{} }, Options{
+		Seed:     1,
+		Parallel: true,
+	})
+	st := r.newExecState(4)
+	if st.buckets != 4 {
+		t.Fatalf("expected bucketed delivery (buckets=4), got %d", st.buckets)
+	}
+	round := 0
+	oneRound := func() {
+		r.startRound(st, round)
+		for _, sh := range st.shards {
+			r.sweepShard(st, sh, round)
+		}
+		if err := r.deliver(st, round); err != nil {
+			t.Fatal(err)
+		}
+		st.refreshLive()
+		r.endRound(st, round)
+		round++
+	}
+	for i := 0; i < 4; i++ {
+		oneRound()
+	}
+	if avg := testing.AllocsPerRun(20, oneRound); avg != 0 {
+		t.Fatalf("steady-state bucketed round allocates %v objects, want 0", avg)
+	}
+}
+
 // TestSteadyStateRoundZeroAllocsWithDelays extends the gate to the faulted
 // delivery path: with a plan that only delays (never drops), steady-state
 // rounds must still allocate nothing once the delay buckets have cycled

@@ -36,6 +36,7 @@ package congest
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/faultsim"
@@ -158,9 +159,10 @@ func (c *Context) fail(err error) {
 	}
 }
 
-// enqueue appends to the owning shard's outbox. Only the worker that owns
-// the shard runs this node, so the append is race-free, and because nodes
-// within a shard are swept in ID order the shard outbox stays sorted by
+// enqueue appends to the owning shard's outbox — the destination shard's
+// bucket when the run is bucketed, out[0] otherwise. Only the worker that
+// owns the shard runs this node, so the append is race-free, and because
+// nodes within a shard are swept in ID order every bucket stays sorted by
 // sender with per-sender append order preserved.
 //
 //congest:hotpath
@@ -171,7 +173,12 @@ func (c *Context) enqueue(to int, w Wire) {
 			c.id, w.Bits, c.runner.opts.MessageBitLimit))
 		return
 	}
-	c.shard.outbox = append(c.shard.outbox, addressed{to: to, msg: Message{From: c.id, Wire: w}})
+	sh := c.shard
+	d := 0
+	if sh.vshard != nil {
+		d = int(sh.vshard[to])
+	}
+	sh.out[d] = append(sh.out[d], addressed{to: to, msg: Message{From: c.id, Wire: w}})
 }
 
 // Halt marks this node finished. Messages queued in the same call are still
@@ -255,6 +262,13 @@ type Options struct {
 	// MessageBitLimit, when positive, fails the run if any single message
 	// exceeds that many bits (CONGEST compliance enforcement).
 	MessageBitLimit int
+	// NoRebalance disables the pool driver's live-weighted shard
+	// rebalancing (see rebalance.go). Rebalancing re-partitions the
+	// contiguous vertex ranges between rounds when the live histogram is
+	// skewed; it changes which worker sweeps which vertex but not the
+	// deterministic event stream or any program-visible state, so the knob
+	// exists only for benchmarking the unbalanced baseline.
+	NoRebalance bool
 	// DropProb, when positive, drops each message independently with this
 	// probability (deterministically, from a fault stream derived from
 	// Seed).
@@ -395,17 +409,36 @@ func (r *Runner) Run() (Result, error) {
 	}
 }
 
-// shard is a contiguous vertex range owned by one worker. Its outbox
-// accumulates the messages its nodes send during a sweep, in (sender ID,
-// send call) order; its live list holds the not-yet-halted vertex IDs in
-// ascending order. Only the owning worker touches a shard during a sweep;
-// the coordinator reads and resets it between sweeps.
+// shard is a contiguous vertex range [lo, hi) owned by one worker. Its
+// outboxes accumulate the messages its nodes send during a sweep, in
+// (sender ID, send call) order per destination bucket; its frontier is a
+// dense grow-only bitset of the not-yet-halted vertices in the range (see
+// frontier.go). Only the owning worker touches a shard during a sweep; the
+// coordinator reads and re-partitions it between sweeps (rebalance.go).
 type shard struct {
-	live   []int
-	outbox []addressed
+	idx       int      // shard index; doubles as this shard's merge-bucket index
+	lo, hi    int      // owned contiguous vertex range [lo, hi)
+	frontier  []uint64 // live bitset over [lo, hi); word 0 starts at (lo>>6)<<6
+	liveCount int      // set bits in frontier (O(1) empty-shard skip)
+	// out is the per-destination-bucket outbox family: out[d] holds the
+	// messages this shard's nodes sent to vertices of destination shard d,
+	// in send order. Unbucketed runs (sequential driver, fault plans,
+	// shard-flow attribution, the legacy driver) use a single bucket and
+	// out[0] is the classic global-send-order outbox.
+	out    [][]addressed
+	vshard []int32       // shared vertex→shard map for bucket routing (nil when unbucketed)
 	events []trace.Event // program/halt events buffered during the sweep
 	err    error         // first model violation by a node of this shard
 	busy   int64         // sweep duration in nanoseconds, when timing is on
+
+	// Bucketed-merge scratch, owned by this shard in its destination role:
+	// mergeBase is the arena offset where the shard's inbox region starts,
+	// and the merge* counters are the region's delivery tallies, folded
+	// into Result by the coordinator in shard order after the merge.
+	mergeBase int
+	mergeMsgs int64
+	mergeBits int64
+	mergeMax  int
 }
 
 // execState is the driver-independent bookkeeping for a run.
@@ -431,6 +464,18 @@ type execState struct {
 	delayFree [][]addressed       // drained delay buckets, kept for reuse
 	sent      int64               // messages handed to delivery, any fate
 	observed  int64               // sends already reported on the bus
+
+	// Bucketed-merge state. buckets is the destination-bucket count per
+	// shard outbox: numShards for the pool driver on a reliable network
+	// (delivery decomposes into per-destination-shard merges that can run
+	// on the workers), 1 otherwise (fault draws and flow attribution need
+	// the global send order a single outbox preserves). parMerge, set by
+	// the pool driver, dispatches one merge task per shard to the worker
+	// pool and waits; nil means the coordinator merges the buckets itself.
+	buckets    int
+	parMerge   func()
+	scratch    []uint64 // whole-graph frontier gather space for rebalancing
+	rebalances int64    // rebalance count over the run
 
 	// Event-bus state (see events.go). bus is nil when nothing listens;
 	// full means a real sink (Options.Events) wants the rich stream, not
@@ -485,15 +530,30 @@ func (r *Runner) newExecState(numShards int) *execState {
 	}
 	st.bus, st.full = r.opts.eventBus()
 	r.traced = st.full
-	if st.full && r.opts.EventShardFlow {
-		st.flow = make(map[uint64]int64)
+	flowWanted := st.full && r.opts.EventShardFlow
+	// Destination-bucketed outboxes let delivery decompose into disjoint
+	// per-shard merges (deliverBuckets); they require a reliable network
+	// (fault draws consume the fault stream in global send order, which
+	// only a single outbox preserves) and no flow attribution, and they
+	// only pay off under the pool driver.
+	st.buckets = 1
+	if r.opts.driverKind() == DriverPool && numShards > 1 && st.plan == nil && !flowWanted {
+		st.buckets = numShards
+	}
+	if flowWanted || st.buckets > 1 {
 		st.vshard = make([]int32, n)
+	}
+	if flowWanted {
+		st.flow = make(map[uint64]int64)
 	}
 	for s := range st.shards {
 		lo, hi := s*n/numShards, (s+1)*n/numShards
-		sh := &shard{live: make([]int, 0, hi-lo)}
+		sh := &shard{idx: s, out: make([][]addressed, st.buckets)}
+		sh.resetFrontier(lo, hi)
+		if st.buckets > 1 {
+			sh.vshard = st.vshard
+		}
 		for v := lo; v < hi; v++ {
-			sh.live = append(sh.live, v)
 			if st.vshard != nil {
 				st.vshard[v] = int32(s)
 			}
@@ -511,43 +571,56 @@ func (r *Runner) newExecState(numShards int) *execState {
 	return st
 }
 
-// sweepShard runs one round for every live node of a shard, in ID order,
-// and compacts the live list in place. Round 0 is Init and always runs in
-// full; from round 1 on the fault plan may skip a crashed vertex for the
-// round (down) or retire it from the live list for good (gone), so a run
-// with permanent crashes can still terminate. Vertex fates are pure
+// sweepShard runs one round for every live node of a shard, in ascending
+// ID order by iterating the frontier bitset word by word (set bits resolve
+// low-to-high via TrailingZeros64, so bit order is ID order). A halted
+// node's bit is cleared; a VertexGone fate also retires the bit so a run
+// with permanent crashes can still terminate, while VertexDown leaves the
+// bit set (the vertex is skipped this round only). Vertex fates are pure
 // functions of (round, vertex), so concurrent shard workers agree with
 // the sequential sweep.
 //
 //congest:hotpath
 func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
-	live := sh.live[:0]
-	for _, v := range sh.live {
-		if round > 0 && st.plan != nil {
-			switch st.plan.Vertex(round, v) {
-			case faultsim.VertexGone:
-				continue
-			case faultsim.VertexDown:
-				live = append(live, v)
-				continue
+	base := sh.lo >> 6
+	for wi := range sh.frontier {
+		w := sh.frontier[wi]
+		if w == 0 {
+			continue
+		}
+		vbase := (base + wi) << 6
+		for rem := w; rem != 0; {
+			b := bits.TrailingZeros64(rem)
+			rem &^= 1 << uint(b)
+			v := vbase + b
+			if round > 0 && st.plan != nil {
+				switch st.plan.Vertex(round, v) {
+				case faultsim.VertexGone:
+					sh.frontier[wi] &^= 1 << uint(b)
+					sh.liveCount--
+					continue
+				case faultsim.VertexDown:
+					continue
+				}
+			}
+			ctx := &st.ctxs[v]
+			ctx.round = round
+			if round == 0 {
+				r.nodes[v].Init(ctx)
+			} else {
+				r.nodes[v].Round(ctx, st.inbox(v))
+			}
+			if ctx.halted {
+				sh.frontier[wi] &^= 1 << uint(b)
+				sh.liveCount--
+				if r.traced {
+					sh.events = append(sh.events, trace.Event{
+						Type: trace.EvHalt, Round: int32(round), V: int32(v),
+					})
+				}
 			}
 		}
-		ctx := &st.ctxs[v]
-		ctx.round = round
-		if round == 0 {
-			r.nodes[v].Init(ctx)
-		} else {
-			r.nodes[v].Round(ctx, st.inbox(v))
-		}
-		if !ctx.halted {
-			live = append(live, v)
-		} else if r.traced {
-			sh.events = append(sh.events, trace.Event{
-				Type: trace.EvHalt, Round: int32(round), V: int32(v),
-			})
-		}
 	}
-	sh.live = live
 }
 
 // inbox returns vertex v's slice of the round's arena. The three-index
@@ -593,6 +666,9 @@ func (r *Runner) deliver(st *execState, round int) error {
 		}
 	}
 	st.drainShardEvents()
+	if st.buckets > 1 {
+		return st.deliverBuckets()
+	}
 	consume := round + 1
 	var delayedNow []addressed
 	if st.delayed != nil {
@@ -608,7 +684,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 		st.inboxLen[a.to]++
 	}
 	for _, sh := range st.shards {
-		for _, a := range sh.outbox {
+		for _, a := range sh.out[0] {
 			st.inboxLen[a.to]++
 		}
 	}
@@ -637,14 +713,14 @@ func (r *Runner) deliver(st *execState, round int) error {
 	for s, sh := range st.shards {
 		if st.plan == nil && st.flow == nil {
 			// Reliable fast path: no fates to draw, no flow to attribute.
-			st.sent += int64(len(sh.outbox))
-			for _, a := range sh.outbox {
+			st.sent += int64(len(sh.out[0]))
+			for _, a := range sh.out[0] {
 				st.deposit(a)
 			}
-			sh.outbox = sh.outbox[:0]
+			sh.out[0] = sh.out[0][:0]
 			continue
 		}
-		for _, a := range sh.outbox {
+		for _, a := range sh.out[0] {
 			st.sent++
 			if st.flow != nil {
 				st.noteFlow(int32(s), a.to)
@@ -680,12 +756,119 @@ func (r *Runner) deliver(st *execState, round int) error {
 			}
 			st.admit(a, consume)
 		}
-		sh.outbox = sh.outbox[:0]
+		sh.out[0] = sh.out[0][:0]
 	}
 	if st.flow != nil {
 		st.emitFlow(round)
 	}
 	return nil
+}
+
+// parallelMergeMin is the outbox volume (messages in the round) below which
+// deliverBuckets merges on the coordinator rather than dispatching merge
+// tasks to the worker pool: under it, the channel round-trip costs more
+// than the scatter it would parallelize.
+const parallelMergeMin = 1 << 13
+
+// deliverBuckets is delivery for bucketed runs (pool driver, reliable
+// network, no flow attribution): every shard swept its nodes into
+// per-destination-shard sub-outboxes, so shard d's whole inbox region is
+// exactly {out[d] of every source shard} — a merge over disjoint arena
+// ranges that can run per destination shard, in parallel, with no
+// coordination beyond the range layout.
+//
+// Order is preserved exactly as in the single-outbox merge: recipient v's
+// inbox concatenates source shards in ascending shard order (shards cover
+// ascending contiguous ID ranges), and within a source bucket messages are
+// in (sender ID, send call) order because the sweep visits nodes in ID
+// order. That is the same sender-sorted inbox deliver produces, so bucketed
+// and unbucketed runs are bit-identical.
+//
+//congest:hotpath
+func (st *execState) deliverBuckets() error {
+	// Region layout: shard d's inbox region starts where shard d-1's ends,
+	// sized by the bucket lengths (a count pass over W² slice headers, not
+	// messages).
+	total := 0
+	for _, dst := range st.shards {
+		dst.mergeBase = total
+		for _, src := range st.shards {
+			total += len(src.out[dst.idx])
+		}
+	}
+	if cap(st.arena) < total {
+		//congest:coldpath arena growth: the backing store only grows, so steady-state rounds never take this branch
+		st.arena = make([]Message, total)
+	} else {
+		st.arena = st.arena[:total]
+	}
+	if st.parMerge != nil && total >= parallelMergeMin {
+		st.parMerge()
+	} else {
+		for d := range st.shards {
+			st.mergeBucket(d)
+		}
+	}
+	// Fold the per-region tallies into the run counters in shard order and
+	// reset the buckets for the next sweep.
+	for _, dst := range st.shards {
+		st.sent += dst.mergeMsgs
+		st.res.Messages += dst.mergeMsgs
+		st.res.TotalBits += dst.mergeBits
+		if dst.mergeMax > st.res.MaxMessageBits {
+			st.res.MaxMessageBits = dst.mergeMax
+		}
+	}
+	for _, src := range st.shards {
+		for d := range src.out {
+			src.out[d] = src.out[d][:0]
+		}
+	}
+	return nil
+}
+
+// mergeBucket scatters destination shard d's inbox region: counting pass
+// over every source shard's bucket for d, prefix sum from the region base,
+// then the cursor scatter — the same two-pass layout as deliver, restricted
+// to the region. Regions are disjoint in the arena and in inboxOff/inboxLen
+// (shard vertex ranges partition [0, n)), so mergeBucket calls for distinct
+// d are race-free and run on pool workers when volume warrants.
+//
+//congest:hotpath
+func (st *execState) mergeBucket(d int) {
+	dst := st.shards[d]
+	for v := dst.lo; v < dst.hi; v++ {
+		st.inboxLen[v] = 0
+	}
+	for _, src := range st.shards {
+		for _, a := range src.out[d] {
+			st.inboxLen[a.to]++
+		}
+	}
+	off := dst.mergeBase
+	for v := dst.lo; v < dst.hi; v++ {
+		st.inboxOff[v] = off
+		off += st.inboxLen[v]
+		st.inboxLen[v] = 0
+	}
+	var msgs, totalBits int64
+	maxBits := 0
+	for _, src := range st.shards {
+		for _, a := range src.out[d] {
+			v := a.to
+			st.arena[st.inboxOff[v]+st.inboxLen[v]] = a.msg
+			st.inboxLen[v]++
+			msgs++
+			bits := int(a.msg.Wire.Bits)
+			totalBits += int64(bits)
+			if bits > maxBits {
+				maxBits = bits
+			}
+		}
+	}
+	dst.mergeMsgs = msgs
+	dst.mergeBits = totalBits
+	dst.mergeMax = maxBits
 }
 
 // appendDelayed appends to a delay bucket, seeding empty buckets from the
@@ -738,11 +921,11 @@ func (st *execState) deposit(a addressed) {
 	}
 }
 
-// refreshLive recomputes the live-node count from the shard live lists.
+// refreshLive recomputes the live-node count from the shard frontiers.
 func (st *execState) refreshLive() {
 	live := 0
 	for _, sh := range st.shards {
-		live += len(sh.live)
+		live += sh.liveCount
 	}
 	st.live = live
 }

@@ -9,6 +9,7 @@ package congest_test
 
 import (
 	"hash/fnv"
+	"runtime"
 	"testing"
 
 	"repro/internal/congest"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/mis/metivier"
 	"repro/internal/mis/tree"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // driverMatrix is every execution strategy a program must agree across.
@@ -35,6 +37,7 @@ var driverMatrix = []struct {
 	{"sequential", func(o *congest.Options) { o.Driver = congest.DriverSequential }},
 	{"pool-1", func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 1 }},
 	{"pool-4", func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 4 }},
+	{"pool-8", func(o *congest.Options) { o.Driver = congest.DriverPool; o.Workers = 8 }},
 	{"goroutine-per-vertex", func(o *congest.Options) { o.Driver = congest.DriverGoroutinePerVertex }},
 }
 
@@ -258,6 +261,53 @@ func TestGoldenFaultedExecution(t *testing.T) {
 		}
 		if fp := statusFingerprint(st); fp != wantFingerprint {
 			t.Fatalf("%s: status fingerprint %#x, want %#x", d.name, fp, wantFingerprint)
+		}
+	}
+}
+
+// TestGoldenMulticoreFingerprint pins one clean traced run at n = 4096
+// under GOMAXPROCS = 8 with shard rebalancing enabled (the default): the
+// deterministic-event fingerprint, round count, and message totals must be
+// identical across the sequential driver, pool at 1 and 8 workers, and the
+// goroutine-per-vertex driver — and must not drift across PRs. The graph
+// is deliberately lopsided (a path over the low half, isolated vertices
+// above) so the live set concentrates in the low shards after round 1 and
+// the 8-worker pool actually rebalances mid-run; the test therefore proves
+// the rebalanced layout and the destination-bucketed parallel merge
+// reproduce the exact event stream of the sequential sweep. It runs under
+// make race, where the worker barrier, parallel merge, and rebalancer are
+// all exercised with the race detector watching.
+func TestGoldenMulticoreFingerprint(t *testing.T) {
+	const (
+		wantRounds      = 7
+		wantMessages    = 8764
+		wantFingerprint = uint64(0x12754683fe80ac53)
+	)
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	n := 4096
+	edges := make([]graph.Edge, 0, n/2)
+	for v := 0; v+1 < n/2; v++ {
+		edges = append(edges, graph.Edge{U: v, V: v + 1})
+	}
+	g := graph.MustNew(n, edges)
+	for _, d := range driverMatrix {
+		rec := trace.NewRecorder(0)
+		opts := congest.Options{Seed: 424242, Events: rec}
+		d.set(&opts)
+		st, res, err := metivier.Run(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		if res.Rounds != wantRounds || res.Messages != wantMessages {
+			t.Fatalf("%s: rounds=%d messages=%d, want %d/%d",
+				d.name, res.Rounds, res.Messages, wantRounds, wantMessages)
+		}
+		if err := base.VerifyStatuses(g, st); err != nil {
+			t.Fatalf("%s: invalid MIS: %v", d.name, err)
+		}
+		if fp := rec.Fingerprint(); fp != wantFingerprint {
+			t.Fatalf("%s: deterministic fingerprint %#x, want %#x", d.name, fp, wantFingerprint)
 		}
 	}
 }

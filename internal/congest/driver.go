@@ -19,7 +19,8 @@ type PoolRoundMetrics struct {
 	// Live is the number of still-live nodes per shard after the round —
 	// the live-node histogram that reveals shard imbalance as nodes halt.
 	Live []int
-	// Busy is each shard's sweep (node execution) time for the round.
+	// Busy is each shard's sweep (node execution) time for the round. A
+	// shard the empty-shard skip never dispatched reports zero.
 	Busy []time.Duration
 	// Merge is the coordinator's delivery time for the round: fault
 	// draws, accounting, and the shard-order outbox merge.
@@ -27,7 +28,11 @@ type PoolRoundMetrics struct {
 }
 
 // WorkerCount resolves Options.Workers for an n-vertex run: Workers when
-// positive, else GOMAXPROCS, clamped to [1, max(n, 1)].
+// positive, else GOMAXPROCS, then clamped to at most n so no shard is
+// empty at the start. For n = 0 it returns 1 — the value is then only a
+// nominal shard count, since a zero-vertex run sweeps nothing (runPool
+// short-circuits before starting any workers) and every driver handles it
+// identically. The result is always at least 1.
 func (o Options) WorkerCount(n int) int {
 	w := o.Workers
 	if w <= 0 {
@@ -42,12 +47,22 @@ func (o Options) WorkerCount(n int) int {
 	return w
 }
 
+// cmdMerge is the out-of-band command the pool coordinator sends on a
+// worker's start channel to run that worker's destination-bucket merge
+// instead of a sweep. Rounds are >= 0, so the value cannot collide.
+const cmdMerge = -1
+
 // runPool executes the program on the sharded worker pool: workerCount
 // long-lived workers each own one contiguous vertex shard and sweep its
 // live nodes every round, with a channel barrier per round (two channel
 // operations per *worker* per round, against two per *vertex* per round
 // for the legacy driver). Delivery happens on the coordinator between
-// rounds; see deliver for why no re-sorting is needed.
+// rounds — except that on a reliable untraced-flow network the
+// destination-bucketed merge (deliverBuckets) ships one merge task per
+// shard back to these same workers when volume is high. Between rounds the
+// coordinator may also re-cut the shard ranges by live weight
+// (rebalance.go); workers always sweep st.shards[s], whose range the
+// rebalancer updates in place.
 func (r *Runner) runPool() (Result, error) {
 	n := r.g.N()
 	workers := r.opts.WorkerCount(n)
@@ -66,13 +81,18 @@ func (r *Runner) runPool() (Result, error) {
 		//lint:advisory shard workers are deterministic by construction: shard-ordered merge makes scheduling invisible (see package doc)
 		go func(sh *shard, start chan int) {
 			defer wg.Done()
-			for round := range start {
+			for cmd := range start {
+				if cmd == cmdMerge {
+					st.mergeBucket(sh.idx)
+					done <- struct{}{}
+					continue
+				}
 				if timed {
 					t0 := time.Now() //lint:advisory shard-busy timings are advisory-only events, excluded from fingerprints
-					r.sweepShard(st, sh, round)
+					r.sweepShard(st, sh, cmd)
 					sh.busy = int64(time.Since(t0)) //lint:advisory shard-busy timings are advisory-only events, excluded from fingerprints
 				} else {
-					r.sweepShard(st, sh, round)
+					r.sweepShard(st, sh, cmd)
 				}
 				done <- struct{}{}
 			}
@@ -85,18 +105,38 @@ func (r *Runner) runPool() (Result, error) {
 		wg.Wait()
 	}()
 
+	// Parallel merge hook for deliverBuckets: one merge task per shard,
+	// dispatched to every worker (an empty-frontier shard still owns its
+	// destination inbox region) and awaited before delivery continues.
+	// deliver runs strictly between sweep barriers, so the done channel is
+	// empty when this fires.
+	if st.buckets > 1 {
+		st.parMerge = func() {
+			for _, start := range starts {
+				start <- cmdMerge
+			}
+			for range starts {
+				<-done
+			}
+		}
+	}
+
 	// The barrier: every worker with live nodes sweeps, the coordinator
-	// waits for exactly those. Shards whose live list has drained get no
-	// dispatch at all — their sweep would be an empty loop, so skipping
+	// waits for exactly those. Shards whose frontier has drained get no
+	// dispatch at all — their sweep would scan empty words, so skipping
 	// the channel round-trip is observationally identical and removes the
 	// per-empty-shard coordination cost of the tail rounds, where
 	// shattering has halted most of the graph. A skipped shard's worker
 	// is idle for the round, so the coordinator may safely clear its
-	// timing residue.
+	// timing residue. Before dispatch, while every worker is parked, the
+	// coordinator re-cuts skewed shard layouts by live weight.
 	sweep := func(round int) {
+		if round > 0 && !r.opts.NoRebalance {
+			st.maybeRebalance(round)
+		}
 		dispatched := 0
 		for s, start := range starts {
-			if len(st.shards[s].live) == 0 {
+			if st.shards[s].liveCount == 0 {
 				st.shards[s].busy = 0
 				continue
 			}
@@ -130,7 +170,7 @@ func (r *Runner) runPool() (Result, error) {
 				Round: int32(round),
 				V:     int32(s),
 				X:     sh.busy,
-				Y:     int64(len(sh.live)),
+				Y:     int64(sh.liveCount),
 			})
 		}
 		st.bus.Emit(trace.Event{Type: trace.EvMerge, Round: int32(round), X: int64(merge)})
@@ -176,7 +216,7 @@ func (r *Runner) runGoroutinePerVertex() (Result, error) {
 	sweep := func(round int) {
 		dispatched := 0
 		for v := 0; v < n; v++ {
-			if len(st.shards[v].live) == 0 {
+			if st.shards[v].liveCount == 0 {
 				continue
 			}
 			starts[v] <- round
@@ -203,6 +243,12 @@ type DriverStats struct {
 	// Critical is the per-round maximum shard sweep time, summed over
 	// rounds — the parallel critical path of the sweeps.
 	Critical time.Duration
+	// DispatchedCritical is the per-round critical path weighted by the
+	// number of shards actually dispatched that round: Σ over rounds of
+	// dispatched × max busy. In tail rounds the empty-shard skip
+	// dispatches only the shards with live or just-halted nodes, so this —
+	// not Workers × Critical — is the capacity the sweeps could have used.
+	DispatchedCritical time.Duration
 	// Merge is total coordinator time spent merging outboxes into
 	// inboxes (delivery, fault draws, accounting).
 	Merge time.Duration
@@ -211,20 +257,28 @@ type DriverStats struct {
 	LiveMax, LiveMin int64
 }
 
-// Observe folds one round of metrics into the aggregate.
+// Observe folds one round of metrics into the aggregate. A shard counts as
+// dispatched for the round when it reported sweep time or still holds live
+// nodes — the frontier never regrows, so a shard with neither was skipped
+// by the coordinator.
 func (d *DriverStats) Observe(m PoolRoundMetrics) {
 	d.Rounds++
 	if len(m.Busy) > d.Workers {
 		d.Workers = len(m.Busy)
 	}
 	var max time.Duration
-	for _, b := range m.Busy {
+	dispatched := 0
+	for i, b := range m.Busy {
 		d.Busy += b
 		if b > max {
 			max = b
 		}
+		if b > 0 || (i < len(m.Live) && m.Live[i] > 0) {
+			dispatched++
+		}
 	}
 	d.Critical += max
+	d.DispatchedCritical += time.Duration(dispatched) * max
 	if len(m.Live) > 0 {
 		lo, hi := m.Live[0], m.Live[0]
 		for _, l := range m.Live[1:] {
@@ -242,13 +296,19 @@ func (d *DriverStats) Observe(m PoolRoundMetrics) {
 }
 
 // Efficiency returns sweep-parallelism efficiency in (0, 1]: total busy
-// time divided by workers × critical path. 1 means perfectly balanced
-// shards; it returns NaN-free 0 when nothing was observed.
+// time divided by the dispatched-weighted critical path. 1 means the
+// dispatched shards were perfectly balanced every round. Weighting by
+// dispatched shards (not the widest-ever worker count) keeps tail rounds
+// honest: when the empty-shard skip dispatches one straggler shard, that
+// round's denominator is one shard's time, not the full pool's — a
+// single-shard round is "efficient" by definition, and imbalance across
+// the pool shows up in LiveMax/LiveMin instead. It returns NaN-free 0
+// when nothing was observed.
 func (d *DriverStats) Efficiency() float64 {
-	if d.Workers == 0 || d.Critical == 0 {
+	if d.Workers == 0 || d.DispatchedCritical == 0 {
 		return 0
 	}
-	return float64(d.Busy) / (float64(d.Workers) * float64(d.Critical))
+	return float64(d.Busy) / float64(d.DispatchedCritical)
 }
 
 // String renders the aggregate for cmd/bench.

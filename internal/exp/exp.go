@@ -128,6 +128,7 @@ func All() []Driver {
 		{ID: "E16", Name: "fault-tolerance", Run: E16FaultTolerance},
 		{ID: "E17", Name: "trace-overhead", Run: E17TraceOverhead},
 		{ID: "E18", Name: "alloc-profile", Run: E18AllocProfile},
+		{ID: "E19", Name: "multicore-scaling", Run: E19MulticoreScaling},
 		{ID: "A1", Name: "rho-opt-out", Run: A1RhoOptOut},
 		{ID: "A2", Name: "param-profiles", Run: A2ParamProfiles},
 		{ID: "A3", Name: "scale-sensitivity", Run: A3ScaleSensitivity},

@@ -73,6 +73,12 @@ const (
 	// EvMerge is the advisory coordinator delivery timing from the pool
 	// driver: X = merge nanoseconds.
 	EvMerge
+	// EvRebalance is the advisory shard-rebalance record from the pool
+	// driver: the coordinator re-partitioned the vertex range by live
+	// weight before the round's sweep. X = total live vertices at the
+	// rebalance, Y = the run's cumulative rebalance count. Shard layout
+	// depends on the worker count, so the event is advisory.
+	EvRebalance
 )
 
 // typeNames maps Type to its wire name (JSONL "t" field).
@@ -88,6 +94,7 @@ var typeNames = [...]string{
 	EvShardFlow:  "shard-flow",
 	EvShardBusy:  "shard-busy",
 	EvMerge:      "merge",
+	EvRebalance:  "rebalance",
 }
 
 // String returns the event type's wire name.
@@ -114,7 +121,7 @@ func TypeFromString(s string) Type {
 // excluded from Fingerprint and Bisect.
 func (t Type) Deterministic() bool {
 	switch t {
-	case EvShardFlow, EvShardBusy, EvMerge:
+	case EvShardFlow, EvShardBusy, EvMerge, EvRebalance:
 		return false
 	}
 	return true
@@ -168,6 +175,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("shard-busy r=%d shard=%d busy=%dns live=%d", e.Round, e.V, e.X, e.Y)
 	case EvMerge:
 		return fmt.Sprintf("merge r=%d %dns", e.Round, e.X)
+	case EvRebalance:
+		return fmt.Sprintf("rebalance r=%d live=%d count=%d", e.Round, e.X, e.Y)
 	default:
 		return fmt.Sprintf("event(%d) r=%d", int(e.Type), e.Round)
 	}
