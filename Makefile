@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test vet misvet race cover alloc-gate scale-smoke ci bench-engine bench bench-faults bench-trace bench-alloc bench-scale
+.PHONY: build test vet misvet race cover alloc-gate scale-smoke dynmis-smoke ci bench-engine bench bench-faults bench-trace bench-alloc bench-scale bench-dynmis
 
 build:
 	go build ./...
@@ -32,9 +32,10 @@ race:
 # coverage must stay at or above the threshold. The analyzer suite holds a
 # higher bar — its fixture tests are the only thing standing between an
 # analyzer regression and silently-unguarded determinism contracts.
-COVER_PKGS     = repro/internal/faultsim repro/internal/congest repro/internal/trace
-COVER_MIN      = 60.0
-LINT_COVER_MIN = 80.0
+COVER_PKGS       = repro/internal/faultsim repro/internal/congest repro/internal/trace
+COVER_MIN        = 60.0
+LINT_COVER_MIN   = 80.0
+DYNMIS_COVER_MIN = 80.0
 
 COVER_AWK = { print } \
 	/coverage:/ { \
@@ -46,6 +47,7 @@ COVER_AWK = { print } \
 cover:
 	@go test -cover $(COVER_PKGS) | awk -v min=$(COVER_MIN) '$(COVER_AWK)'
 	@go test -cover repro/internal/lint | awk -v min=$(LINT_COVER_MIN) '$(COVER_AWK)'
+	@go test -cover repro/internal/dynmis | awk -v min=$(DYNMIS_COVER_MIN) '$(COVER_AWK)'
 
 # Allocation gate: a steady-state sequential round (n = 1024 ring,
 # every node broadcasting) must perform zero heap allocations — the
@@ -61,10 +63,17 @@ alloc-gate:
 scale-smoke:
 	go run ./cmd/bench -quick -only E19
 
+# Dynamic-MIS smoke: the E20 slice at test size — incremental repair vs
+# full recompute on a generated update stream, with the sequential/pool
+# stream-fingerprint equality enforced inside the driver. Fast (< 1s);
+# runs in ci. The full trajectory is `make bench-dynmis`.
+dynmis-smoke:
+	go run ./cmd/bench -quick -only E20
+
 # Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
 # repo-wide vet, the misvet analyzer suite, race-detector pass, coverage
-# floors, allocation gate, multicore-scaling smoke.
-ci: test vet misvet race cover alloc-gate scale-smoke
+# floors, allocation gate, multicore-scaling smoke, dynamic-MIS smoke.
+ci: test vet misvet race cover alloc-gate scale-smoke dynmis-smoke
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
@@ -97,6 +106,15 @@ bench-alloc:
 # and the artifact records num_cpu so the bound is visible.
 bench-scale:
 	go run ./cmd/bench -scale-bench BENCH_scale.json
+
+# Refresh the seed-pinned dynamic-MIS trajectory (E20 / DESIGN.md S28:
+# incremental-repair vs full-recompute throughput and the repaired-region
+# size distribution on low-locality streams over tree and union-of-trees
+# at n ∈ {2^12, 2^14, 2^16}). The n = 2^16 rows must beat full
+# recomputation by ≥ 10x or the run fails; the sequential and pool
+# drivers must agree on every stream fingerprint.
+bench-dynmis:
+	go run ./cmd/bench -dynmis-bench BENCH_dynmis.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

@@ -57,6 +57,7 @@ func BenchmarkE16FaultTolerance(b *testing.B)    { benchDriver(b, "E16") }
 func BenchmarkE17TraceOverhead(b *testing.B)     { benchDriver(b, "E17") }
 func BenchmarkE18AllocProfile(b *testing.B)      { benchDriver(b, "E18") }
 func BenchmarkE19MulticoreScaling(b *testing.B)  { benchDriver(b, "E19") }
+func BenchmarkE20DynamicUpdates(b *testing.B)    { benchDriver(b, "E20") }
 func BenchmarkA1RhoOptOut(b *testing.B)          { benchDriver(b, "A1") }
 func BenchmarkA2ParamProfiles(b *testing.B)      { benchDriver(b, "A2") }
 func BenchmarkA3ScaleSensitivity(b *testing.B)   { benchDriver(b, "A3") }

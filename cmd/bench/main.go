@@ -8,6 +8,7 @@
 //	bench -faults BENCH_faults.json [-faults-n N] [-seeds K] [-seed S]
 //	bench -trace-bench BENCH_trace.json [-trace-n N] [-seed S]
 //	bench -alloc-bench BENCH_alloc.json [-alloc-n N] [-alloc-baseline BENCH_congest.json] [-seed S]
+//	bench -dynmis-bench BENCH_dynmis.json [-dynmis-ns 4096,65536] [-dynmis-batches B] [-seed S]
 //	bench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] ...
 //
 // Each experiment prints its table and notes; the process exits non-zero if
@@ -39,6 +40,14 @@
 // earlier BENCH_congest.json whose sequential messages/sec becomes the
 // embedded speedup baseline.
 //
+// -dynmis-bench replays generated update streams through the dynamic-MIS
+// engine (internal/dynmis) on the tree and union-of-trees families,
+// measuring incremental-repair throughput against the full-recompute
+// baseline and the repaired-region size distribution, and writes
+// BENCH_dynmis.json. Rows at n >= 2^16 must beat full recomputation by
+// -dynmis-min-speedup (default 10x) or the run fails; the sequential and
+// pool drivers must agree on every stream fingerprint (always enforced).
+//
 // -cpuprofile and -memprofile write pprof profiles covering whatever work
 // the invocation did (experiments or one of the bench modes); inspect them
 // with `go tool pprof`. The memory profile is written at exit with an
@@ -57,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/dynmis"
 	"repro/internal/exp"
 	"repro/internal/trace"
 )
@@ -89,6 +99,13 @@ func run() int {
 	scaleWorkers := flag.String("scale-workers", "1,2,4,8,0", "comma-separated pool worker counts for -scale-bench (0 = GOMAXPROCS)")
 	scaleReps := flag.Int("scale-reps", 2, "timed runs per cell for -scale-bench (best wall time wins)")
 	scaleGPV := flag.Bool("scale-gpv", false, "include the legacy goroutine-per-vertex driver in -scale-bench")
+	dynmisBench := flag.String("dynmis-bench", "", "write dynamic-MIS incremental-repair JSON to this file and exit")
+	dynmisNS := flag.String("dynmis-ns", "4096,16384,65536", "comma-separated graph sizes for -dynmis-bench")
+	dynmisBatches := flag.Int("dynmis-batches", 64, "update batches per case for -dynmis-bench")
+	dynmisBatchSize := flag.Int("dynmis-batch-size", 16, "updates per batch for -dynmis-bench")
+	dynmisLocality := flag.Float64("dynmis-locality", 0, "stream locality in [0,1] for -dynmis-bench")
+	dynmisChurn := flag.Float64("dynmis-churn", 0.05, "stream node-churn probability in [0,1] for -dynmis-bench")
+	dynmisMinSpeedup := flag.Float64("dynmis-min-speedup", 10, "fail -dynmis-bench when a row with n >= 65536 falls below this incremental-vs-recompute speedup (0 = record only)")
 	allocBench := flag.String("alloc-bench", "", "write allocation-profile JSON to this file and exit")
 	allocN := flag.Int("alloc-n", 1<<14, "graph size for -alloc-bench")
 	allocReps := flag.Int("alloc-reps", 5, "runs per driver for -alloc-bench (best wall time / min allocs win)")
@@ -148,6 +165,10 @@ func run() int {
 	}
 	if *allocBench != "" {
 		return runAllocBench(*allocBench, *allocN, *seed, *allocReps, *allocBaseline)
+	}
+	if *dynmisBench != "" {
+		return runDynmisBench(*dynmisBench, *dynmisNS, *dynmisBatches, *dynmisBatchSize,
+			*dynmisLocality, *dynmisChurn, *seed, *dynmisMinSpeedup)
 	}
 	if *faults != "" {
 		k := *seeds
@@ -348,6 +369,46 @@ func runScaleBench(path, nsFlag, workersFlag string, seed uint64, reps int, incl
 				name, size.N, time.Duration(e.WallNS).Round(time.Microsecond), e.SpeedupVsPool1,
 				e.MessagesPerSec, e.Rebalances, e.FingerprintClean, e.FingerprintFaulted, stall)
 		}
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runDynmisBench measures the dynamic-MIS engine's incremental-repair
+// throughput against full recomputation and writes BENCH_dynmis.json. Each
+// size runs on the tree and union-of-trees families under a low-locality
+// stream; rows at n >= 2^16 must clear the minSpeedup acceptance bar.
+func runDynmisBench(path, nsFlag string, batches, batchSize int, locality, churn float64, seed uint64, minSpeedup float64) int {
+	ns, err := parseInts("-dynmis-ns", nsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynmis bench: %v\n", err)
+		return 1
+	}
+	var cases []exp.DynmisBenchCase
+	for _, n := range ns {
+		cases = append(cases,
+			exp.DynmisBenchCase{Family: "tree", N: n, Batches: batches},
+			exp.DynmisBenchCase{Family: "union", N: n, Batches: batches})
+	}
+	cfg := dynmis.StreamConfig{BatchSize: batchSize, Locality: locality, Churn: churn}
+	report, err := exp.RunDynmisBench(cases, cfg, seed, minSpeedup, 1<<16)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynmis bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynmis bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dynmis bench: %v\n", err)
+		return 1
+	}
+	for _, e := range report.Entries {
+		fmt.Printf("%-6s n=%-8d updates/s=%-11.0f recompute/s=%-9.0f speedup=%-8.1f region mean=%-6.1f p90=%-4d max=%-5d fp=%s\n",
+			e.Family, e.N, e.UpdatesPerSec, e.RecomputePerSec, e.Speedup, e.RegionMean, e.RegionP90, e.RegionMax, e.Fingerprint)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

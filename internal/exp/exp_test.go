@@ -45,8 +45,8 @@ func TestDriverIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("driver %s incomplete", d.ID)
 		}
 	}
-	if len(seen) != 24 {
-		t.Fatalf("expected 24 drivers, got %d", len(seen))
+	if len(seen) != 25 {
+		t.Fatalf("expected 25 drivers, got %d", len(seen))
 	}
 }
 

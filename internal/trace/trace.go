@@ -79,6 +79,14 @@ const (
 	// rebalance, Y = the run's cumulative rebalance count. Shard layout
 	// depends on the worker count, so the event is advisory.
 	EvRebalance
+	// EvRepair is one incremental repair by the dynamic-MIS engine
+	// (internal/dynmis): Round = the update-batch index (0 = bootstrap),
+	// V = repair-region size, W = free (re-run) vertices in the region,
+	// X = CONGEST rounds the repair run took, Y = the repair run's
+	// deterministic trace fingerprint, Z = messages delivered. Region
+	// discovery and the repair run are deterministic for a fixed
+	// (graph, seed, update stream), so the event is deterministic.
+	EvRepair
 )
 
 // typeNames maps Type to its wire name (JSONL "t" field).
@@ -95,6 +103,7 @@ var typeNames = [...]string{
 	EvShardBusy:  "shard-busy",
 	EvMerge:      "merge",
 	EvRebalance:  "rebalance",
+	EvRepair:     "repair",
 }
 
 // String returns the event type's wire name.
@@ -177,6 +186,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("merge r=%d %dns", e.Round, e.X)
 	case EvRebalance:
 		return fmt.Sprintf("rebalance r=%d live=%d count=%d", e.Round, e.X, e.Y)
+	case EvRepair:
+		return fmt.Sprintf("repair batch=%d region=%d free=%d rounds=%d fp=%#016x msgs=%d",
+			e.Round, e.V, e.W, e.X, uint64(e.Y), e.Z)
 	default:
 		return fmt.Sprintf("event(%d) r=%d", int(e.Type), e.Round)
 	}

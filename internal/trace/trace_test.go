@@ -13,6 +13,7 @@ import (
 var allTypes = []Type{
 	EvRoundStart, EvVertexFate, EvNodeState, EvHalt, EvDrop, EvDelay,
 	EvRNG, EvRoundEnd, EvShardFlow, EvShardBusy, EvMerge, EvRebalance,
+	EvRepair,
 }
 
 func TestTypeNamesRoundTrip(t *testing.T) {
