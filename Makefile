@@ -1,7 +1,7 @@
 # Developer entry points. The repo is plain `go build`-able; these targets
 # just name the workflows CI and PRs rely on.
 
-.PHONY: build test vet misvet race cover alloc-gate scale-smoke dynmis-smoke ci bench-engine bench bench-faults bench-trace bench-alloc bench-scale bench-dynmis
+.PHONY: build test vet misvet race cover alloc-gate scale-smoke dynmis-smoke dist-smoke ci bench-engine bench bench-faults bench-trace bench-alloc bench-scale bench-dynmis bench-dist
 
 build:
 	go build ./...
@@ -21,21 +21,23 @@ vet:
 misvet:
 	go run ./cmd/misvet ./...
 
-# Engine safety net: vet plus race-detector coverage of the CONGEST
-# drivers (the sharded worker pool and the legacy goroutine-per-vertex
-# driver are the only concurrent code in the repo).
+# Engine safety net: vet plus race-detector coverage of the concurrent
+# code — the CONGEST drivers (sharded worker pool, legacy
+# goroutine-per-vertex, distributed coordinator) and the multi-process
+# fleet transport (frame codec, worker protocol, crash recovery).
 race:
-	go vet ./internal/congest/... && go test -race ./internal/congest/...
+	go vet ./internal/congest/... ./internal/distrib/... && go test -race ./internal/congest/... ./internal/distrib/...
 
 # Coverage gates: the engine, the fault-injection subsystem, and the
 # execution-trace subsystem are the load-bearing packages; their statement
 # coverage must stay at or above the threshold. The analyzer suite holds a
 # higher bar — its fixture tests are the only thing standing between an
 # analyzer regression and silently-unguarded determinism contracts.
-COVER_PKGS       = repro/internal/faultsim repro/internal/congest repro/internal/trace
-COVER_MIN        = 60.0
-LINT_COVER_MIN   = 80.0
-DYNMIS_COVER_MIN = 80.0
+COVER_PKGS        = repro/internal/faultsim repro/internal/congest repro/internal/trace
+COVER_MIN         = 60.0
+LINT_COVER_MIN    = 80.0
+DYNMIS_COVER_MIN  = 80.0
+DISTRIB_COVER_MIN = 80.0
 
 COVER_AWK = { print } \
 	/coverage:/ { \
@@ -48,6 +50,7 @@ cover:
 	@go test -cover $(COVER_PKGS) | awk -v min=$(COVER_MIN) '$(COVER_AWK)'
 	@go test -cover repro/internal/lint | awk -v min=$(LINT_COVER_MIN) '$(COVER_AWK)'
 	@go test -cover repro/internal/dynmis | awk -v min=$(DYNMIS_COVER_MIN) '$(COVER_AWK)'
+	@go test -cover repro/internal/distrib | awk -v min=$(DISTRIB_COVER_MIN) '$(COVER_AWK)'
 
 # Allocation gate: a steady-state sequential round (n = 1024 ring,
 # every node broadcasting) must perform zero heap allocations — the
@@ -70,10 +73,18 @@ scale-smoke:
 dynmis-smoke:
 	go run ./cmd/bench -quick -only E20
 
+# Distributed-driver smoke: the E21 slice at test size — shard workers in
+# separate OS processes over unix sockets, every fleet shape forced to
+# reproduce the sequential fingerprint bit-for-bit, clean and faulted.
+# Fast (< 2s); runs in ci. The full trajectory is `make bench-dist`.
+dist-smoke:
+	go run ./cmd/bench -quick -only E21
+
 # Full pre-merge gate: build (cmd/traceview included via ./...) + tests,
 # repo-wide vet, the misvet analyzer suite, race-detector pass, coverage
-# floors, allocation gate, multicore-scaling smoke, dynamic-MIS smoke.
-ci: test vet misvet race cover alloc-gate scale-smoke dynmis-smoke
+# floors, allocation gate, multicore-scaling smoke, dynamic-MIS smoke,
+# distributed-driver smoke.
+ci: test vet misvet race cover alloc-gate scale-smoke dynmis-smoke dist-smoke
 
 # Refresh the seed-pinned driver throughput trajectory consumed by future
 # PRs (rounds/sec and messages/sec per driver at n = 2^14).
@@ -115,6 +126,15 @@ bench-scale:
 # drivers must agree on every stream fingerprint.
 bench-dynmis:
 	go run ./cmd/bench -dynmis-bench BENCH_dynmis.json
+
+# Refresh the seed-pinned distributed-driver trajectory (E21: fleet shapes
+# shards ∈ {1,2,4,8} at n = 2^10, each a set of worker OS processes over
+# unix sockets; every shape must reproduce the sequential run's
+# deterministic fingerprint bit-for-bit, clean and faulted, or the run
+# fails; frame bytes and round-trip latency per round are the recorded
+# transport cost).
+bench-dist:
+	go run ./cmd/bench -dist-bench BENCH_dist.json
 
 # Engine driver micro-benchmarks (ns/round per driver at n = 2^11, 2^14).
 bench:

@@ -2,10 +2,20 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
+	"repro/internal/distrib"
 	"repro/internal/exp"
 )
+
+// TestMain lets this test binary double as the misnode worker: the E21
+// benchmark spawns self-exec fleets, which re-run the binary with the
+// worker socket in the environment.
+func TestMain(m *testing.M) {
+	distrib.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // One benchmark per experiment in DESIGN.md's index. Each runs the driver
 // at test size (cmd/bench runs the full sweeps) and reports the wall cost
@@ -58,6 +68,7 @@ func BenchmarkE17TraceOverhead(b *testing.B)     { benchDriver(b, "E17") }
 func BenchmarkE18AllocProfile(b *testing.B)      { benchDriver(b, "E18") }
 func BenchmarkE19MulticoreScaling(b *testing.B)  { benchDriver(b, "E19") }
 func BenchmarkE20DynamicUpdates(b *testing.B)    { benchDriver(b, "E20") }
+func BenchmarkE21DistributedDriver(b *testing.B) { benchDriver(b, "E21") }
 func BenchmarkA1RhoOptOut(b *testing.B)          { benchDriver(b, "A1") }
 func BenchmarkA2ParamProfiles(b *testing.B)      { benchDriver(b, "A2") }
 func BenchmarkA3ScaleSensitivity(b *testing.B)   { benchDriver(b, "A3") }

@@ -9,6 +9,7 @@
 //	bench -trace-bench BENCH_trace.json [-trace-n N] [-seed S]
 //	bench -alloc-bench BENCH_alloc.json [-alloc-n N] [-alloc-baseline BENCH_congest.json] [-seed S]
 //	bench -dynmis-bench BENCH_dynmis.json [-dynmis-ns 4096,65536] [-dynmis-batches B] [-seed S]
+//	bench -dist-bench BENCH_dist.json [-dist-n N] [-dist-shards 1,2,4,8] [-dist-reps R] [-seed S]
 //	bench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] ...
 //
 // Each experiment prints its table and notes; the process exits non-zero if
@@ -48,6 +49,13 @@
 // -dynmis-min-speedup (default 10x) or the run fails; the sequential and
 // pool drivers must agree on every stream fingerprint (always enforced).
 //
+// -dist-bench measures the distributed multi-process driver (shard workers
+// in separate OS processes over unix sockets) across fleet shapes on a
+// seed-pinned workload and writes BENCH_dist.json. Every fleet shape must
+// reproduce the sequential run's deterministic fingerprint bit-for-bit —
+// clean and under a pinned fault plan — or the run fails; the report
+// records frame bytes and round-trip latency per round.
+//
 // -cpuprofile and -memprofile write pprof profiles covering whatever work
 // the invocation did (experiments or one of the bench modes); inspect them
 // with `go tool pprof`. The memory profile is written at exit with an
@@ -66,12 +74,16 @@ import (
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/distrib"
 	"repro/internal/dynmis"
 	"repro/internal/exp"
 	"repro/internal/trace"
 )
 
 func main() {
+	// Self-exec hook first: -dist-bench and E21 spawn ExecFleet workers by
+	// re-running this binary, which must never reach flag parsing.
+	distrib.MaybeWorker()
 	os.Exit(run())
 }
 
@@ -106,6 +118,10 @@ func run() int {
 	dynmisLocality := flag.Float64("dynmis-locality", 0, "stream locality in [0,1] for -dynmis-bench")
 	dynmisChurn := flag.Float64("dynmis-churn", 0.05, "stream node-churn probability in [0,1] for -dynmis-bench")
 	dynmisMinSpeedup := flag.Float64("dynmis-min-speedup", 10, "fail -dynmis-bench when a row with n >= 65536 falls below this incremental-vs-recompute speedup (0 = record only)")
+	distBench := flag.String("dist-bench", "", "write distributed-driver fleet JSON to this file and exit")
+	distN := flag.Int("dist-n", 1<<10, "graph size for -dist-bench")
+	distShards := flag.String("dist-shards", "1,2,4,8", "comma-separated shard-process counts for -dist-bench")
+	distReps := flag.Int("dist-reps", 3, "clean runs per fleet shape for -dist-bench (best wall time wins)")
 	allocBench := flag.String("alloc-bench", "", "write allocation-profile JSON to this file and exit")
 	allocN := flag.Int("alloc-n", 1<<14, "graph size for -alloc-bench")
 	allocReps := flag.Int("alloc-reps", 5, "runs per driver for -alloc-bench (best wall time / min allocs win)")
@@ -165,6 +181,9 @@ func run() int {
 	}
 	if *allocBench != "" {
 		return runAllocBench(*allocBench, *allocN, *seed, *allocReps, *allocBaseline)
+	}
+	if *distBench != "" {
+		return runDistBench(*distBench, *distN, *distShards, *seed, *distReps)
 	}
 	if *dynmisBench != "" {
 		return runDynmisBench(*dynmisBench, *dynmisNS, *dynmisBatches, *dynmisBatchSize,
@@ -409,6 +428,46 @@ func runDynmisBench(path, nsFlag string, batches, batchSize int, locality, churn
 	for _, e := range report.Entries {
 		fmt.Printf("%-6s n=%-8d updates/s=%-11.0f recompute/s=%-9.0f speedup=%-8.1f region mean=%-6.1f p90=%-4d max=%-5d fp=%s\n",
 			e.Family, e.N, e.UpdatesPerSec, e.RecomputePerSec, e.Speedup, e.RegionMean, e.RegionP90, e.RegionMax, e.Fingerprint)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runDistBench measures the distributed multi-process driver across fleet
+// shapes and writes BENCH_dist.json. Every text row names the resolved
+// topology — shard-process count, transport, socket — the way the engine
+// bench names pool(w=N); a fingerprint divergence from the sequential
+// reference fails the run.
+func runDistBench(path string, n int, shardsFlag string, seed uint64, reps int) int {
+	shardSet, err := parseInts("-dist-shards", shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
+		return 1
+	}
+	report, err := exp.RunDistBench(n, shardSet, seed, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("sequential reference      n=%d wall=%v fp=%s faulted-fp=%s\n",
+		report.N, time.Duration(report.SequentialWallNS).Round(time.Microsecond),
+		report.SequentialFingerprint, report.SequentialFingerprintFault)
+	for _, e := range report.Entries {
+		name := fmt.Sprintf("dist(shards=%d, transport=%s, socket=%s)", e.Shards, e.Transport, e.Socket)
+		fmt.Printf("%s\n  n=%d rounds=%d wall=%v msgs/s=%.0f speedup=%.2fx frameKB/round=%.1f rtt=%v clean=%t faulted=%t\n",
+			name, report.N, e.Rounds, time.Duration(e.WallNS).Round(time.Microsecond),
+			e.MessagesPerSec, e.SpeedupVsSequential, e.FrameBytesPerRound/1024,
+			time.Duration(e.MeanRTTNanos).Round(time.Microsecond), e.CleanMatch, e.FaultedMatch)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

@@ -227,6 +227,12 @@ const (
 	// as a baseline for BENCH_congest.json and the engine benchmarks;
 	// prefer DriverPool for real runs.
 	DriverGoroutinePerVertex
+	// DriverDistributed runs every shard in a separate OS process: the
+	// coordinator exchanges round-batched frames with a fleet of shard
+	// workers over unix sockets or TCP (see internal/distrib), performing
+	// all fault/RNG draws itself in global sender order so executions stay
+	// bit-identical with the in-process drivers. Requires Options.Fleet.
+	DriverDistributed
 )
 
 // String names the driver for reports and benchmark output.
@@ -238,6 +244,8 @@ func (k DriverKind) String() string {
 		return "pool"
 	case DriverGoroutinePerVertex:
 		return "goroutine-per-vertex"
+	case DriverDistributed:
+		return "distributed"
 	default:
 		return "auto"
 	}
@@ -312,6 +320,14 @@ type Options struct {
 	// bit-identical adapter over it (it fires on every trace.EvRoundEnd).
 	// New code should attach a trace.Sink via Events instead.
 	Observer func(round, live int, sent int64)
+	// Fleet, when Driver is DriverDistributed, is the shard-worker fleet
+	// the coordinator drives: one connection per contiguous vertex shard,
+	// each backed by a separate OS process (see internal/distrib for the
+	// socket transports). The fleet also serves as the respawn point for
+	// crash recovery — a shard whose connection breaks mid-run is
+	// restarted via Fleet.Shard and fast-forwarded from the coordinator's
+	// round-input log. Ignored by the in-process drivers.
+	Fleet Fleet
 	// PoolObserver, when non-nil, receives per-round driver-efficiency
 	// metrics (per-shard busy time, merge time, live-node histogram) from
 	// the pool driver. It runs on the coordinator; the metric's slices are
@@ -404,6 +420,8 @@ func (r *Runner) Run() (Result, error) {
 		return r.runPool()
 	case DriverGoroutinePerVertex:
 		return r.runGoroutinePerVertex()
+	case DriverDistributed:
+		return r.runDistributed()
 	default:
 		return r.runSequential()
 	}
@@ -488,6 +506,14 @@ type execState struct {
 	lastDropped    int64
 	lastDraws      uint64
 	lastFaultDraws uint64
+
+	// Distributed-driver state: when remote is set, node RNG draws happen
+	// in the shard worker processes and remoteDraws (the sum of the
+	// workers' cumulative draw counts) replaces the coordinator-side
+	// context scan in endRound — the coordinator's mirror contexts never
+	// draw, so the scan would report zero.
+	remote      bool
+	remoteDraws uint64
 }
 
 // effectivePlan resolves the run's fault model: the legacy DropProb knob

@@ -9,10 +9,13 @@ package congest_test
 
 import (
 	"hash/fnv"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/congest"
+	"repro/internal/distrib"
 	"repro/internal/faultsim"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -28,6 +31,14 @@ import (
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
+
+// TestMain is the distributed driver's self-exec hook: when an ExecFleet
+// spawns this test binary as a shard worker, MaybeWorker serves the run
+// and exits before any test runs.
+func TestMain(m *testing.M) {
+	distrib.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // driverMatrix is every execution strategy a program must agree across.
 var driverMatrix = []struct {
@@ -89,8 +100,26 @@ func statusPrograms() []statusProgram {
 	}
 }
 
-// runMatrix executes one program under every driver and fails the test on
-// the first divergence in error, Result, or statuses.
+// distProgram maps a matrix program label to the cross-process Program
+// spec the distributed driver's workers construct their nodes from.
+func distProgram(label string, g *graph.Graph) distrib.Program {
+	switch name := strings.SplitN(label, "/", 2)[0]; name {
+	case "lubyA":
+		return distrib.Program{Algorithm: "luby-a"}
+	case "lubyB":
+		return distrib.Program{Algorithm: "luby-b"}
+	case "degreduce":
+		return distrib.Program{Algorithm: "degreduce", Args: []uint64{4}}
+	case "colevishkin":
+		return distrib.Program{Algorithm: "colevishkin", Args: distrib.ColeVishkinArgs(bfsParents(g))}
+	default:
+		return distrib.Program{Algorithm: name}
+	}
+}
+
+// runMatrix executes one program under every driver — including the
+// distributed driver over a unix-socket worker fleet — and fails the test
+// on the first divergence in error, Result, or statuses.
 func runMatrix(t *testing.T, label string, g *graph.Graph, baseOpts congest.Options,
 	run func(g *graph.Graph, opts congest.Options) ([]base.Status, congest.Result, error)) {
 	t.Helper()
@@ -98,27 +127,41 @@ func runMatrix(t *testing.T, label string, g *graph.Graph, baseOpts congest.Opti
 	var refSt []base.Status
 	var refRes congest.Result
 	var refErr error
-	for _, d := range driverMatrix {
-		opts := baseOpts
-		d.set(&opts)
-		st, res, err := run(g, opts)
+	check := func(name string, st []base.Status, res congest.Result, err error) {
+		t.Helper()
 		if refName == "" {
-			refName, refSt, refRes, refErr = d.name, st, res, err
-			continue
+			refName, refSt, refRes, refErr = name, st, res, err
+			return
 		}
 		if (err == nil) != (refErr == nil) || (err != nil && err.Error() != refErr.Error()) {
-			t.Fatalf("%s: %s err %v, %s err %v", label, d.name, err, refName, refErr)
+			t.Fatalf("%s: %s err %v, %s err %v", label, name, err, refName, refErr)
 		}
 		if res != refRes {
-			t.Fatalf("%s: %s Result %+v != %s Result %+v", label, d.name, res, refName, refRes)
+			t.Fatalf("%s: %s Result %+v != %s Result %+v", label, name, res, refName, refRes)
 		}
 		for v := range st {
 			if st[v] != refSt[v] {
 				t.Fatalf("%s: node %d status %v under %s, %v under %s",
-					label, v, st[v], d.name, refSt[v], refName)
+					label, v, st[v], name, refSt[v], refName)
 			}
 		}
 	}
+	for _, d := range driverMatrix {
+		opts := baseOpts
+		d.set(&opts)
+		st, res, err := run(g, opts)
+		check(d.name, st, res, err)
+	}
+	fleet, err := distrib.NewExecFleet(g, distProgram(label, g), 4)
+	if err != nil {
+		t.Fatalf("%s: distributed fleet: %v", label, err)
+	}
+	defer fleet.Close()
+	opts := baseOpts
+	opts.Driver = congest.DriverDistributed
+	opts.Fleet = fleet
+	st, res, err := run(g, opts)
+	check("distributed", st, res, err)
 }
 
 // TestCrossDriverAllPrograms sweeps every status-returning MIS program
@@ -238,7 +281,20 @@ func TestGoldenFaultedExecution(t *testing.T) {
 			200: {Down: 3, Up: 0},
 		}),
 	)
-	for _, d := range driverMatrix {
+	drivers := append([]struct {
+		name string
+		set  func(*congest.Options)
+	}{}, driverMatrix...)
+	fleet, err := distrib.NewExecFleet(g, distrib.Program{Algorithm: "ftmetivier"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	drivers = append(drivers, struct {
+		name string
+		set  func(*congest.Options)
+	}{"distributed", func(o *congest.Options) { o.Driver = congest.DriverDistributed; o.Fleet = fleet }})
+	for _, d := range drivers {
 		opts := congest.Options{Seed: 1234, Faults: plan, MaxRounds: 400}
 		d.set(&opts)
 		st, res, err := ftmetivier.Run(g, opts)
@@ -291,7 +347,20 @@ func TestGoldenMulticoreFingerprint(t *testing.T) {
 		edges = append(edges, graph.Edge{U: v, V: v + 1})
 	}
 	g := graph.MustNew(n, edges)
-	for _, d := range driverMatrix {
+	drivers := append([]struct {
+		name string
+		set  func(*congest.Options)
+	}{}, driverMatrix...)
+	fleet, err := distrib.NewExecFleet(g, distrib.Program{Algorithm: "metivier"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	drivers = append(drivers, struct {
+		name string
+		set  func(*congest.Options)
+	}{"distributed", func(o *congest.Options) { o.Driver = congest.DriverDistributed; o.Fleet = fleet }})
+	for _, d := range drivers {
 		rec := trace.NewRecorder(0)
 		opts := congest.Options{Seed: 424242, Events: rec}
 		d.set(&opts)

@@ -145,8 +145,12 @@ func (r *Runner) endRound(st *execState, round int) {
 	st.observed = st.sent
 	if st.full {
 		draws := uint64(0)
-		for v := range st.ctxs {
-			draws += st.ctxs[v].rng.Draws()
+		if st.remote {
+			draws = st.remoteDraws
+		} else {
+			for v := range st.ctxs {
+				draws += st.ctxs[v].rng.Draws()
+			}
 		}
 		var faultDraws uint64
 		if st.faults != nil {

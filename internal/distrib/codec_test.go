@@ -1,0 +1,394 @@
+// Frame codec hardening: exhaustive round-trip property tests over every
+// proto wire kind and boundary bit size, plus adversarial decoding —
+// every truncated prefix and a fuzz sweep of corrupt payloads must be
+// rejected with a contextual error, never a panic, and corrupt counts
+// must not drive oversized allocations.
+package distrib
+
+import (
+	"math"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/mis/proto"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// protoKinds is the exhaustive wire-kind set programs put on the wire.
+func protoKinds() []congest.WireKind {
+	return []congest.WireKind{
+		proto.WirePriority, proto.WireEpochPriority, proto.WireFlag,
+		proto.WireDegree, proto.WireDesire, proto.WireColor,
+		proto.WireLevel, proto.WireForestEdge,
+	}
+}
+
+// boundaryBits are the payload sizes worth probing: empty, single bit,
+// around the byte boundary, and the engine's 128-bit CONGEST cap.
+func boundaryBits() []uint16 {
+	return []uint16{0, 1, 7, 8, 63, 64, 127, uint16(congest.MaxWireBits)}
+}
+
+// boundaryWords are the 64-bit payload word values worth probing.
+func boundaryWords() []uint64 {
+	return []uint64{0, 1, math.MaxUint32, math.MaxUint64 - 1, math.MaxUint64}
+}
+
+// decodeAs reruns payloadKind + the kind's decoder, returning the decode
+// error (nil on success). It is the single entry point the adversarial
+// tests drive so no decoder path can panic unobserved.
+func decodeAs(payload []byte) error {
+	kind, dec, err := payloadKind(payload)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case fkConfig:
+		_, err = decodeConfig(dec)
+	case fkHello:
+		_, err = decodeHello(dec)
+	case fkRound:
+		_, err = decodeRound(dec)
+	case fkSweep:
+		_, err = decodeSweep(dec)
+	case fkFinish:
+		err = dec.done()
+	case fkOutputs:
+		_, err = decodeOutputs(dec)
+	case fkError:
+		_, err = decodeError(dec)
+	default:
+		err = dec.done()
+	}
+	return err
+}
+
+// TestRoundTripAllWireKinds sends one message of every proto kind at
+// every boundary bit size and word value through the round codec.
+func TestRoundTripAllWireKinds(t *testing.T) {
+	var msgs []congest.Message
+	from := 0
+	for _, k := range protoKinds() {
+		for _, bits := range boundaryBits() {
+			for _, word := range boundaryWords() {
+				msgs = append(msgs, congest.Message{
+					From: from,
+					Wire: congest.Wire{Kind: k, Bits: bits, A: word, B: ^word},
+				})
+				from++
+			}
+		}
+	}
+	in := congest.RoundInput{
+		Round:     3,
+		Fates:     []congest.VertexFate{{V: 0, Fate: 1}, {V: int32(len(msgs) - 1), Fate: 2}},
+		InboxLens: []int32{int32(len(msgs))},
+		Inbox:     msgs,
+	}
+	var e encoder
+	encodeRound(&e, in)
+	kind, dec, err := payloadKind(e.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != fkRound {
+		t.Fatalf("payload kind = %s, want round", kind)
+	}
+	got, err := decodeRound(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round input did not survive the round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+// TestSweepRoundTrip exercises the worker→coordinator payload with
+// boundary packets, negative event fields, and an error string.
+func TestSweepRoundTrip(t *testing.T) {
+	out := congest.RoundOutput{
+		Packets: []congest.Packet{
+			{To: 0, From: 0, Wire: congest.Wire{Kind: proto.WirePriority, Bits: 1, A: 1}},
+			{To: math.MaxInt32, From: math.MaxInt32, Wire: congest.Wire{
+				Kind: proto.WireForestEdge, Bits: uint16(congest.MaxWireBits),
+				A: math.MaxUint64, B: math.MaxUint64,
+			}},
+		},
+		Events: []trace.Event{
+			{Type: trace.EvHalt, Round: 7, V: 12},
+			{Type: trace.EvNodeState, Round: math.MaxInt32, V: -1, W: math.MinInt32,
+				X: math.MinInt64, Y: math.MaxInt64, Z: -1},
+		},
+		Halted: []int32{0, 5, math.MaxInt32},
+		Draws:  math.MaxUint64,
+		Err:    "congest: node 5 sent to non-neighbor 9",
+	}
+	var e encoder
+	encodeSweep(&e, out)
+	_, dec, err := payloadKind(e.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSweep(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, out) {
+		t.Fatalf("sweep output did not survive the round trip:\n got %+v\nwant %+v", got, out)
+	}
+}
+
+// TestConfigRoundTrip exercises the handshake payload with boundary
+// seeds, program args, and gap-heavy adjacency deltas.
+func TestConfigRoundTrip(t *testing.T) {
+	m := configMsg{
+		cfg: congest.ShardConfig{
+			Index: 2, NumShards: 4, Lo: 10, Hi: 14, N: 1 << 20,
+			Seed: math.MaxUint64, MessageBitLimit: 128, Traced: true,
+		},
+		prog:        Program{Algorithm: "colevishkin", Args: []uint64{0, 1, math.MaxUint64, 42}},
+		adj:         [][]int{{0, 1, 1<<20 - 1}, {}, {13}, {3, 7, 11, 12}},
+		metricsAddr: "127.0.0.1:0",
+	}
+	var e encoder
+	encodeConfig(&e, m)
+	_, dec, err := payloadKind(e.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeConfig(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoder canonicalizes an empty adjacency row to an empty slice.
+	if len(m.adj[1]) == 0 && len(got.adj[1]) == 0 {
+		got.adj[1] = m.adj[1]
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("config did not survive the round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+// TestSmallFramesRoundTrip covers hello, outputs, error and finish.
+func TestSmallFramesRoundTrip(t *testing.T) {
+	var e encoder
+	encodeHello(&e, "10.0.0.1:9999")
+	_, dec, _ := payloadKind(e.buf)
+	if addr, err := decodeHello(dec); err != nil || addr != "10.0.0.1:9999" {
+		t.Fatalf("hello round trip: %q, %v", addr, err)
+	}
+	vals := []uint64{0, 1, math.MaxUint64}
+	encodeOutputs(&e, vals)
+	_, dec, _ = payloadKind(e.buf)
+	if got, err := decodeOutputs(dec); err != nil || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("outputs round trip: %v, %v", got, err)
+	}
+	encodeError(&e, "boom")
+	_, dec, _ = payloadKind(e.buf)
+	if msg, err := decodeError(dec); err != nil || msg != "boom" {
+		t.Fatalf("error round trip: %q, %v", msg, err)
+	}
+	encodeFinish(&e)
+	_, dec, _ = payloadKind(e.buf)
+	if err := dec.done(); err != nil {
+		t.Fatalf("finish frame should carry no body: %v", err)
+	}
+}
+
+// samplePayloads builds one representative encoded payload per frame kind.
+func samplePayloads() map[string][]byte {
+	var e encoder
+	out := map[string][]byte{}
+	encodeConfig(&e, configMsg{
+		cfg:  congest.ShardConfig{Index: 1, NumShards: 2, Lo: 2, Hi: 4, N: 8, Seed: 99},
+		prog: Program{Algorithm: "metivier", Args: []uint64{7}},
+		adj:  [][]int{{0, 3}, {1}},
+	})
+	out["config"] = append([]byte(nil), e.buf...)
+	encodeHello(&e, "127.0.0.1:41234")
+	out["hello"] = append([]byte(nil), e.buf...)
+	encodeRound(&e, congest.RoundInput{
+		Round:     2,
+		Fates:     []congest.VertexFate{{V: 3, Fate: 1}},
+		InboxLens: []int32{1, 2},
+		Inbox: []congest.Message{
+			{From: 0, Wire: congest.Wire{Kind: proto.WireFlag, Bits: 1, A: 1}},
+			{From: 5, Wire: congest.Wire{Kind: proto.WireDegree, Bits: 32, A: 9}},
+			{From: 6, Wire: congest.Wire{Kind: proto.WireColor, Bits: 8, A: 3, B: 1}},
+		},
+	})
+	out["round"] = append([]byte(nil), e.buf...)
+	encodeSweep(&e, congest.RoundOutput{
+		Packets: []congest.Packet{{To: 1, From: 2, Wire: congest.Wire{Kind: proto.WireDesire, Bits: 2, A: 2}}},
+		Events:  []trace.Event{{Type: trace.EvHalt, Round: 2, V: 3}},
+		Halted:  []int32{3},
+		Draws:   17,
+		Err:     "",
+	})
+	out["sweep"] = append([]byte(nil), e.buf...)
+	encodeOutputs(&e, []uint64{1, 2, 3})
+	out["outputs"] = append([]byte(nil), e.buf...)
+	encodeError(&e, "worker failed")
+	out["error"] = append([]byte(nil), e.buf...)
+	encodeFinish(&e)
+	out["finish"] = append([]byte(nil), e.buf...)
+	return out
+}
+
+// TestTruncatedFramesRejected decodes every strict prefix of every frame
+// kind: each must fail with a contextual error (and never panic) — a
+// partial frame cannot be mistaken for a complete one.
+func TestTruncatedFramesRejected(t *testing.T) {
+	for name, payload := range samplePayloads() {
+		if err := decodeAs(payload); err != nil {
+			t.Fatalf("%s: intact payload rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			err := decodeAs(payload[:cut])
+			if err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes decoded cleanly", name, cut, len(payload))
+			}
+			if !strings.Contains(err.Error(), "distrib:") {
+				t.Fatalf("%s: prefix error lacks context: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestTrailingBytesRejected appends garbage to every frame kind: done()
+// must flag the surplus.
+func TestTrailingBytesRejected(t *testing.T) {
+	for name, payload := range samplePayloads() {
+		grown := append(append([]byte(nil), payload...), 0x5a)
+		if err := decodeAs(grown); err == nil {
+			t.Fatalf("%s: payload with trailing bytes decoded cleanly", name)
+		}
+	}
+}
+
+// TestCorruptCountsRejected hand-crafts payloads whose collection counts
+// vastly exceed the bytes present: the plausibility bound must reject
+// them before any allocation happens.
+func TestCorruptCountsRejected(t *testing.T) {
+	var e encoder
+	e.reset(fkRound)
+	e.u64(0)        // round
+	e.u64(1 << 40)  // absurd fate count
+	_, dec, _ := payloadKind(e.buf)
+	if _, err := decodeRound(dec); err == nil || !strings.Contains(err.Error(), "implausible count") {
+		t.Fatalf("absurd fate count not rejected: %v", err)
+	}
+	e.reset(fkOutputs)
+	e.u64(math.MaxUint64 / 2)
+	_, dec, _ = payloadKind(e.buf)
+	if _, err := decodeOutputs(dec); err == nil || !strings.Contains(err.Error(), "implausible count") {
+		t.Fatalf("absurd outputs count not rejected: %v", err)
+	}
+	e.reset(fkError)
+	e.u64(1 << 35)
+	_, dec, _ = payloadKind(e.buf)
+	if _, err := decodeError(dec); err == nil {
+		t.Fatal("absurd string length not rejected")
+	}
+}
+
+// TestNonAscendingAdjacencyRejected corrupts a config's delta-coded
+// adjacency with a zero delta (a duplicate neighbor).
+func TestNonAscendingAdjacencyRejected(t *testing.T) {
+	var e encoder
+	e.reset(fkConfig)
+	for _, x := range []uint64{0, 1, 0, 2, 8} { // index, shards, lo, hi, n
+		e.u64(x)
+	}
+	e.fix64(7) // seed
+	e.u64(0)   // bit limit
+	e.u8(0)    // traced
+	e.str("metivier")
+	e.u64(0) // args
+	e.str("")
+	e.u64(3) // degree of vertex 0
+	e.u64(4)
+	e.u64(0) // zero delta: duplicate neighbor
+	e.u64(1)
+	// vertex 1 row omitted: the zero delta must fail first.
+	_, dec, _ := payloadKind(e.buf)
+	if _, err := decodeConfig(dec); err == nil || !strings.Contains(err.Error(), "non-ascending adjacency") {
+		t.Fatalf("duplicate adjacency not rejected: %v", err)
+	}
+}
+
+// TestFuzzDecodersNeverPanic throws deterministic pseudo-random garbage
+// (and mutated valid frames) at every decoder: errors are expected,
+// panics and runaway allocations are not.
+func TestFuzzDecodersNeverPanic(t *testing.T) {
+	r := rng.New(0xf022)
+	buf := make([]byte, 256)
+	for trial := 0; trial < 4096; trial++ {
+		n := int(r.Uint64() % uint64(len(buf)))
+		payload := buf[:n]
+		for i := range payload {
+			payload[i] = byte(r.Uint64())
+		}
+		if n > 0 {
+			// Half the trials get a valid kind byte so the real decoders run.
+			if r.Uint64()&1 == 0 {
+				payload[0] = byte(1 + r.Uint64()%7)
+			}
+		}
+		_ = decodeAs(payload)
+	}
+	// Mutate valid frames: flip one byte at a time and decode. Some
+	// mutations stay well-formed; the property under test is no-panic.
+	for _, payload := range samplePayloads() {
+		for i := range payload {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 0xff
+			_ = decodeAs(mut)
+		}
+	}
+}
+
+// TestFrameConnRoundTrip pushes frames through a real socket pair and
+// checks framing, byte accounting, and oversize rejection.
+func TestFrameConnRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fa, fb := newFrameConn(a), newFrameConn(b)
+
+	var e encoder
+	encodeHello(&e, "addr")
+	sent := append([]byte(nil), e.buf...)
+	errc := make(chan error, 1)
+	go func() { errc <- fa.writeFrame(sent) }()
+	payload, err := fb.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-errc; werr != nil {
+		t.Fatal(werr)
+	}
+	if !reflect.DeepEqual(payload, sent) {
+		t.Fatalf("frame payload changed in flight: %x != %x", payload, sent)
+	}
+	if fa.bytesOut != int64(4+len(sent)) || fb.bytesIn != int64(4+len(sent)) {
+		t.Fatalf("byte accounting off: out=%d in=%d want %d", fa.bytesOut, fb.bytesIn, 4+len(sent))
+	}
+
+	if err := fa.writeFrame(make([]byte, maxFrameLen+1)); err == nil {
+		t.Fatal("oversized frame write not rejected")
+	}
+
+	// A corrupt length prefix past the cap must be rejected by the reader.
+	go func() {
+		hdr := []byte{0xff, 0xff, 0xff, 0xff}
+		a.Write(hdr)
+	}()
+	if _, err := fb.readFrame(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("corrupt length prefix not rejected: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package distrib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// frameConn wraps a stream socket with the length-prefixed framing both
+// sides of the protocol speak: every frame is a 4-byte little-endian
+// payload length followed by the payload (kind byte + body). The wrapper
+// counts bytes in each direction so connections can report the advisory
+// per-round transport volume.
+type frameConn struct {
+	c        net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	lenBuf   [4]byte
+	readBuf  []byte
+	bytesIn  int64
+	bytesOut int64
+}
+
+// newFrameConn wraps an established socket.
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// writeFrame sends one frame (length prefix + payload) and flushes.
+func (fc *frameConn) writeFrame(payload []byte) error {
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("distrib: frame payload of %d bytes exceeds limit %d", len(payload), maxFrameLen)
+	}
+	binary.LittleEndian.PutUint32(fc.lenBuf[:], uint32(len(payload)))
+	if _, err := fc.w.Write(fc.lenBuf[:]); err != nil {
+		return fmt.Errorf("distrib: write frame length: %w", err)
+	}
+	if _, err := fc.w.Write(payload); err != nil {
+		return fmt.Errorf("distrib: write frame payload: %w", err)
+	}
+	if err := fc.w.Flush(); err != nil {
+		return fmt.Errorf("distrib: flush frame: %w", err)
+	}
+	fc.bytesOut += int64(4 + len(payload))
+	return nil
+}
+
+// readFrame receives one frame payload. The returned slice is valid only
+// until the next readFrame call (the buffer is reused).
+func (fc *frameConn) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(fc.r, fc.lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("distrib: read frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(fc.lenBuf[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("distrib: frame length %d exceeds limit %d", n, maxFrameLen)
+	}
+	if cap(fc.readBuf) < int(n) {
+		fc.readBuf = make([]byte, n)
+	}
+	fc.readBuf = fc.readBuf[:n]
+	if _, err := io.ReadFull(fc.r, fc.readBuf); err != nil {
+		return nil, fmt.Errorf("distrib: read frame payload: %w", err)
+	}
+	fc.bytesIn += int64(4 + n)
+	return fc.readBuf, nil
+}
+
+// close tears the socket down.
+func (fc *frameConn) close() error { return fc.c.Close() }

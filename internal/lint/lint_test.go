@@ -40,6 +40,7 @@ func TestDeterministicScope(t *testing.T) {
 		want bool
 	}{
 		{"repro/internal/congest", true},
+		{"repro/internal/distrib", true},
 		{"repro/internal/dynmis", true},
 		{"repro/internal/mis", true},
 		{"repro/internal/mis/metivier", true},

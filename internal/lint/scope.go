@@ -9,7 +9,8 @@ import "strings"
 //
 //  1. Package scope. Packages on the deterministic list below carry the
 //     repo's bit-identical-replay contract: the engine, every MIS/matching
-//     protocol, the dynamic-MIS maintainer, the graph/forest/shatter
+//     protocol, the dynamic-MIS maintainer, the distributed fleet
+//     transport, the graph/forest/shatter
 //     substrate, the splittable RNG,
 //     the fault planner, the trace subsystem's deterministic event
 //     machinery, and the paper's read-k accounting. Benchmark and
@@ -31,6 +32,7 @@ import "strings"
 var deterministicScopes = []string{
 	"internal/congest",
 	"internal/core",
+	"internal/distrib",
 	"internal/dynmis",
 	"internal/faultsim",
 	"internal/forest",

@@ -139,3 +139,10 @@ func (nd *node) Round(ctx *congest.Context, inbox []congest.Message) {
 		nd.start(ctx)
 	}
 }
+
+// ExportState packs the node's observable output (its status) for the
+// distributed driver's cross-process state transfer (congest.Porter).
+func (nd *node) ExportState() uint64 { return uint64(nd.status) }
+
+// ImportState restores a status packed by ExportState.
+func (nd *node) ImportState(x uint64) { nd.status = base.Status(x) }

@@ -193,3 +193,17 @@ func (nd *nodeB) Round(ctx *congest.Context, inbox []congest.Message) {
 		nd.start(ctx)
 	}
 }
+
+// ExportState packs the node's observable output (its status) for the
+// distributed driver's cross-process state transfer (congest.Porter).
+func (nd *nodeA) ExportState() uint64 { return uint64(nd.status) }
+
+// ImportState restores a status packed by ExportState.
+func (nd *nodeA) ImportState(x uint64) { nd.status = base.Status(x) }
+
+// ExportState packs the node's observable output (its status) for the
+// distributed driver's cross-process state transfer (congest.Porter).
+func (nd *nodeB) ExportState() uint64 { return uint64(nd.status) }
+
+// ImportState restores a status packed by ExportState.
+func (nd *nodeB) ImportState(x uint64) { nd.status = base.Status(x) }

@@ -99,3 +99,10 @@ func (nd *node) winsAgainst(id int, inbox []congest.Message) bool {
 	}
 	return true
 }
+
+// ExportState packs the node's observable output (its status) for the
+// distributed driver's cross-process state transfer (congest.Porter).
+func (nd *node) ExportState() uint64 { return uint64(nd.status) }
+
+// ImportState restores a status packed by ExportState.
+func (nd *node) ImportState(x uint64) { nd.status = base.Status(x) }

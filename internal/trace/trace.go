@@ -87,6 +87,20 @@ const (
 	// discovery and the repair run are deterministic for a fixed
 	// (graph, seed, update stream), so the event is deterministic.
 	EvRepair
+	// EvFrame is the advisory per-shard transport record from the
+	// distributed driver: one round-trip of round-batched frames between
+	// the coordinator and a shard process. V = shard, X = frame bytes sent
+	// to the shard, Y = frame bytes received from it, Z = round-trip
+	// latency in nanoseconds. Frame sizes and latency depend on the codec,
+	// the socket, and the host, so the event is advisory.
+	EvFrame
+	// EvRespawn is the advisory crash-recovery record from the distributed
+	// driver: a shard process died (or its connection broke) and the
+	// coordinator respawned it and replayed its round-input log to catch
+	// it up. Round = the round being retried, V = shard, X = rounds
+	// replayed during fast-forward. Process death is not derived from the
+	// run seed, so the event is advisory.
+	EvRespawn
 )
 
 // typeNames maps Type to its wire name (JSONL "t" field).
@@ -104,6 +118,8 @@ var typeNames = [...]string{
 	EvMerge:      "merge",
 	EvRebalance:  "rebalance",
 	EvRepair:     "repair",
+	EvFrame:      "frame",
+	EvRespawn:    "respawn",
 }
 
 // String returns the event type's wire name.
@@ -130,7 +146,7 @@ func TypeFromString(s string) Type {
 // excluded from Fingerprint and Bisect.
 func (t Type) Deterministic() bool {
 	switch t {
-	case EvShardFlow, EvShardBusy, EvMerge, EvRebalance:
+	case EvShardFlow, EvShardBusy, EvMerge, EvRebalance, EvFrame, EvRespawn:
 		return false
 	}
 	return true
@@ -189,6 +205,10 @@ func (e Event) String() string {
 	case EvRepair:
 		return fmt.Sprintf("repair batch=%d region=%d free=%d rounds=%d fp=%#016x msgs=%d",
 			e.Round, e.V, e.W, e.X, uint64(e.Y), e.Z)
+	case EvFrame:
+		return fmt.Sprintf("frame r=%d shard=%d out=%dB in=%dB rtt=%dns", e.Round, e.V, e.X, e.Y, e.Z)
+	case EvRespawn:
+		return fmt.Sprintf("respawn r=%d shard=%d replayed=%d", e.Round, e.V, e.X)
 	default:
 		return fmt.Sprintf("event(%d) r=%d", int(e.Type), e.Round)
 	}
