@@ -111,6 +111,44 @@ func TestSteadyStateRoundZeroAllocsBucketed(t *testing.T) {
 	}
 }
 
+// TestSteadyStateRoundZeroAllocsRelabeled extends the gate to a
+// non-identity layout: with the BFS relabeling active, every round runs
+// the external↔internal translation path (extID, the dual
+// neighbors/targets context slices) and must still allocate nothing.
+func TestSteadyStateRoundZeroAllocsRelabeled(t *testing.T) {
+	const n = 1024
+	r := NewRunner(ringGraph(n), func(int) Node { return steadyBroadcaster{} }, Options{
+		Seed:   1,
+		Layout: "bfs",
+	})
+	if r.layoutErr != nil {
+		t.Fatal(r.layoutErr)
+	}
+	if r.perm == nil {
+		t.Fatal("bfs layout on a ring should produce a non-identity permutation")
+	}
+	st := r.newExecState(1)
+	round := 0
+	oneRound := func() {
+		r.startRound(st, round)
+		for _, sh := range st.shards {
+			r.sweepShard(st, sh, round)
+		}
+		if err := r.deliver(st, round); err != nil {
+			t.Fatal(err)
+		}
+		st.refreshLive()
+		r.endRound(st, round)
+		round++
+	}
+	for i := 0; i < 4; i++ {
+		oneRound()
+	}
+	if avg := testing.AllocsPerRun(20, oneRound); avg != 0 {
+		t.Fatalf("steady-state relabeled round allocates %v objects, want 0", avg)
+	}
+}
+
 // TestSteadyStateRoundZeroAllocsWithDelays extends the gate to the faulted
 // delivery path: with a plan that only delays (never drops), steady-state
 // rounds must still allocate nothing once the delay buckets have cycled

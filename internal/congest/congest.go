@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/faultsim"
 	"repro/internal/graph"
+	"repro/internal/layout"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -64,10 +65,18 @@ type Node interface {
 
 // Context is the per-node view of the network that the engine passes to
 // Init and Round. It is only valid during the call it is passed to.
+//
+// Under a non-identity layout (Options.Layout) the engine stores vertices
+// in permuted "internal" order but the context exposes only "external"
+// (original) IDs: id, neighbors, and every Message.From are external.
+// targets carries the internal ID of each neighbor, pairwise-aligned with
+// neighbors, so sends address engine storage without a translation lookup;
+// under the identity layout both slices alias the same CSR row.
 type Context struct {
 	id        int
 	n         int
-	neighbors []int
+	neighbors []int // external neighbor IDs, ascending
+	targets   []int // internal neighbor IDs, aligned with neighbors
 	rng       *rng.RNG
 	round     int
 	halted    bool
@@ -110,11 +119,12 @@ func (c *Context) RNG() *rng.RNG { return c.rng }
 // neighbor list to validate `to`; hot paths that already know the
 // neighbor's position should use SendSlot instead.
 func (c *Context) Send(to int, w Wire) {
-	if !c.isNeighbor(to) {
+	i := sort.SearchInts(c.neighbors, to)
+	if i >= len(c.neighbors) || c.neighbors[i] != to {
 		c.fail(fmt.Errorf("congest: node %d sent to non-neighbor %d", c.id, to))
 		return
 	}
-	c.enqueue(to, w)
+	c.enqueue(c.targets[i], w)
 }
 
 // SendSlot queues a message to the i'th neighbor (Neighbors()[i]) for
@@ -130,7 +140,7 @@ func (c *Context) SendSlot(i int, w Wire) {
 		c.fail(fmt.Errorf("congest: node %d sent to neighbor slot %d of %d", c.id, i, len(c.neighbors)))
 		return
 	}
-	c.enqueue(c.neighbors[i], w)
+	c.enqueue(c.targets[i], w)
 }
 
 // Broadcast queues a message to every neighbor for delivery next round,
@@ -138,7 +148,7 @@ func (c *Context) SendSlot(i int, w Wire) {
 //
 //congest:hotpath
 func (c *Context) Broadcast(w Wire) {
-	for _, v := range c.neighbors {
+	for _, v := range c.targets {
 		c.enqueue(v, w)
 	}
 }
@@ -205,11 +215,6 @@ func (c *Context) Emit(code int32, value int64) {
 	})
 }
 
-func (c *Context) isNeighbor(w int) bool {
-	i := sort.SearchInts(c.neighbors, w)
-	return i < len(c.neighbors) && c.neighbors[i] == w
-}
-
 // DriverKind selects the execution strategy for a run.
 type DriverKind int
 
@@ -270,6 +275,17 @@ type Options struct {
 	// MessageBitLimit, when positive, fails the run if any single message
 	// exceeds that many bits (CONGEST compliance enforcement).
 	MessageBitLimit int
+	// Layout names the cache-conscious vertex ordering the engine applies
+	// at ingest (see internal/layout): "" or "identity" keeps the original
+	// labeling, "degsort" stores vertices by descending degree, "bfs"
+	// clusters neighborhoods Cuthill–McKee style. Relabeling is invisible
+	// to programs — contexts, messages, trace events, results, and errors
+	// all carry original (external) IDs — but it changes the engine's
+	// sweep and fault-draw order, so layout is part of run identity: trace
+	// fingerprints are pinned per layout, and all drivers stay
+	// bit-identical to each other within one. An unknown name fails Run
+	// with the parse error.
+	Layout string
 	// NoRebalance disables the pool driver's live-weighted shard
 	// rebalancing (see rebalance.go). Rebalancing re-partitions the
 	// contiguous vertex ranges between rounds when the live histogram is
@@ -384,28 +400,110 @@ var ErrMaxRounds = errors.New("congest: max rounds exceeded before all nodes hal
 // Runner executes a program over a graph. Construct with NewRunner; a
 // Runner is single-use (Run may be called once).
 type Runner struct {
-	g      *graph.Graph
-	nodes  []Node
+	g      *graph.Graph // ingest graph, external labeling
+	nodes  []Node       // indexed by internal ID
 	opts   Options
 	ran    bool
 	traced bool // full event stream wanted; set before workers start, read-only after
+
+	// Layout state (see internal/layout). Under the identity layout ig
+	// aliases g and every other field is nil, so the engine runs exactly
+	// the pre-layout code paths. Otherwise ig is the relabeled CSR the
+	// drivers shard and sweep, perm/ext translate external↔internal IDs,
+	// and the nbr arrays hold each internal vertex's neighbor row twice:
+	// external IDs ascending (what contexts expose) pairwise-aligned with
+	// internal IDs (what sends address).
+	ig        *graph.Graph
+	perm      []int // external ID -> internal ID; nil = identity
+	ext       []int // internal ID -> external ID; nil = identity
+	nbrOff    []int // internal vertex -> offset into nbrExt/nbrInt
+	nbrExt    []int
+	nbrInt    []int
+	layoutErr error // deferred to Run: NewRunner cannot return an error
 }
 
 // NewRunner builds a runner for the given graph. factory(v) must return the
-// state machine for vertex v; it is called once per vertex in ID order.
+// state machine for vertex v; it is called once per vertex in ascending
+// external (original) ID order regardless of Options.Layout.
 func NewRunner(g *graph.Graph, factory func(v int) Node, opts Options) *Runner {
-	nodes := make([]Node, g.N())
-	for v := range nodes {
-		nodes[v] = factory(v)
-	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = DefaultMaxRounds
 	}
-	return &Runner{g: g, nodes: nodes, opts: opts}
+	r := &Runner{g: g, ig: g, opts: opts}
+	r.resolveLayout()
+	r.nodes = make([]Node, g.N())
+	for v := 0; v < g.N(); v++ {
+		p := v
+		if r.perm != nil {
+			p = r.perm[v]
+		}
+		r.nodes[p] = factory(v)
+	}
+	return r
+}
+
+// resolveLayout computes the configured ordering and relabels the graph.
+// Failures (unknown ordering name) are recorded in layoutErr and poison
+// Run; the runner falls back to identity internals so accessors stay safe.
+func (r *Runner) resolveLayout() {
+	o, err := layout.Parse(r.opts.Layout)
+	if err != nil {
+		r.layoutErr = err
+		return
+	}
+	perm, ext, err := layout.Compute(r.g, o)
+	if err != nil {
+		r.layoutErr = err
+		return
+	}
+	if perm == nil {
+		return // identity: ig aliases g, nothing stored
+	}
+	ig, err := graph.Relabel(r.g, perm)
+	if err != nil {
+		r.layoutErr = err
+		return
+	}
+	r.ig, r.perm, r.ext = ig, perm, ext
+	// Build the dual neighbor rows: for internal vertex p, the external
+	// IDs of its neighbors ascending, aligned with their internal IDs.
+	n := ig.N()
+	r.nbrOff = make([]int, n+1)
+	for p := 0; p < n; p++ {
+		r.nbrOff[p+1] = r.nbrOff[p] + ig.Degree(p)
+	}
+	r.nbrExt = make([]int, r.nbrOff[n])
+	r.nbrInt = make([]int, r.nbrOff[n])
+	for p := 0; p < n; p++ {
+		extRow := r.nbrExt[r.nbrOff[p]:r.nbrOff[p+1]]
+		intRow := r.nbrInt[r.nbrOff[p]:r.nbrOff[p+1]]
+		for i, q := range ig.Neighbors(p) {
+			extRow[i] = ext[q]
+			intRow[i] = q
+		}
+		sort.Sort(&pairByExt{ext: extRow, tgt: intRow})
+	}
+}
+
+// pairByExt sorts a (external ID, internal ID) neighbor-row pair by
+// external ID, keeping the slices aligned.
+type pairByExt struct{ ext, tgt []int }
+
+func (s *pairByExt) Len() int           { return len(s.ext) }
+func (s *pairByExt) Less(i, j int) bool { return s.ext[i] < s.ext[j] }
+func (s *pairByExt) Swap(i, j int) {
+	s.ext[i], s.ext[j] = s.ext[j], s.ext[i]
+	s.tgt[i], s.tgt[j] = s.tgt[j], s.tgt[i]
 }
 
 // Node returns vertex v's state machine, for reading outputs after Run.
-func (r *Runner) Node(v int) Node { return r.nodes[v] }
+// v is the external (original) ID under every layout.
+func (r *Runner) Node(v int) Node {
+	if r.perm != nil {
+		return r.nodes[r.perm[v]]
+	}
+	return r.nodes[v]
+}
 
 // Run executes the program to completion and returns run statistics. It
 // returns ErrMaxRounds if any node is still live at the round limit, or the
@@ -415,6 +513,9 @@ func (r *Runner) Run() (Result, error) {
 		return Result{}, errors.New("congest: Runner is single-use; construct a new one per run")
 	}
 	r.ran = true
+	if r.layoutErr != nil {
+		return Result{}, r.layoutErr
+	}
 	switch r.opts.driverKind() {
 	case DriverPool:
 		return r.runPool()
@@ -514,6 +615,22 @@ type execState struct {
 	// draw, so the scan would report zero.
 	remote      bool
 	remoteDraws uint64
+
+	// Layout translation (mirrors Runner.ext/perm; nil = identity). The
+	// engine's storage and sweep order are internal, but fault-plan
+	// consults and trace-event vertex fields must speak external IDs.
+	ext  []int
+	perm []int
+}
+
+// extID translates an internal vertex ID to its external (original) ID.
+//
+//congest:hotpath
+func (st *execState) extID(v int) int {
+	if st.ext == nil {
+		return v
+	}
+	return st.ext[v]
 }
 
 // effectivePlan resolves the run's fault model: the legacy DropProb knob
@@ -536,7 +653,7 @@ func (o Options) effectivePlan() faultsim.Plan {
 // vertex range into numShards near-equal contiguous pieces.
 func (r *Runner) newExecState(numShards int) *execState {
 	root := rng.New(r.opts.Seed)
-	n := r.g.N()
+	n := r.ig.N()
 	if numShards > n {
 		numShards = n
 	}
@@ -551,6 +668,7 @@ func (r *Runner) newExecState(numShards int) *execState {
 		live:     n,
 		plan:     r.opts.effectivePlan(),
 	}
+	st.ext, st.perm = r.ext, r.perm
 	if st.plan != nil {
 		st.faults = root.Split(^uint64(0))
 	}
@@ -583,11 +701,24 @@ func (r *Runner) newExecState(numShards int) *execState {
 			if st.vshard != nil {
 				st.vshard[v] = int32(s)
 			}
+			// v is the internal ID; the context carries the external
+			// identity (ID, neighbor list, RNG stream) so relabeling is
+			// invisible to the program. Identity layout: both neighbor
+			// slices alias the same CSR row and extv == v.
+			extv, nbrs, tgts := v, r.ig.Neighbors(v), []int(nil)
+			if r.perm != nil {
+				extv = r.ext[v]
+				nbrs = r.nbrExt[r.nbrOff[v]:r.nbrOff[v+1]]
+				tgts = r.nbrInt[r.nbrOff[v]:r.nbrOff[v+1]]
+			} else {
+				tgts = nbrs
+			}
 			st.ctxs[v] = Context{
-				id:        v,
+				id:        extv,
 				n:         n,
-				neighbors: r.g.Neighbors(v),
-				rng:       root.Split(uint64(v)),
+				neighbors: nbrs,
+				targets:   tgts,
+				rng:       root.Split(uint64(extv)),
 				shard:     sh,
 				runner:    r,
 			}
@@ -620,7 +751,7 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 			rem &^= 1 << uint(b)
 			v := vbase + b
 			if round > 0 && st.plan != nil {
-				switch st.plan.Vertex(round, v) {
+				switch st.plan.Vertex(round, st.extID(v)) {
 				case faultsim.VertexGone:
 					sh.frontier[wi] &^= 1 << uint(b)
 					sh.liveCount--
@@ -641,7 +772,7 @@ func (r *Runner) sweepShard(st *execState, sh *shard, round int) {
 				sh.liveCount--
 				if r.traced {
 					sh.events = append(sh.events, trace.Event{
-						Type: trace.EvHalt, Round: int32(round), V: int32(v),
+						Type: trace.EvHalt, Round: int32(round), V: int32(st.extID(v)),
 					})
 				}
 			}
@@ -752,13 +883,13 @@ func (r *Runner) deliver(st *execState, round int) error {
 				st.noteFlow(int32(s), a.to)
 			}
 			if st.plan != nil {
-				fate := st.plan.Message(round, a.msg.From, a.to, st.faults)
+				fate := st.plan.Message(round, a.msg.From, st.extID(a.to), st.faults)
 				if fate.Drop {
 					st.res.Dropped++
 					if st.full {
 						st.bus.Emit(trace.Event{
 							Type: trace.EvDrop, Round: int32(round),
-							V: int32(a.msg.From), W: int32(a.to),
+							V: int32(a.msg.From), W: int32(st.extID(a.to)),
 						})
 					}
 					continue
@@ -774,7 +905,7 @@ func (r *Runner) deliver(st *execState, round int) error {
 					if st.full {
 						st.bus.Emit(trace.Event{
 							Type: trace.EvDelay, Round: int32(round),
-							V: int32(a.msg.From), W: int32(a.to), X: int64(fate.Delay),
+							V: int32(a.msg.From), W: int32(st.extID(a.to)), X: int64(fate.Delay),
 						})
 					}
 					continue
@@ -916,14 +1047,14 @@ func (st *execState) appendDelayed(bucket []addressed, a addressed) []addressed 
 //
 //congest:hotpath
 func (st *execState) admit(a addressed, consume int) {
-	if st.plan != nil && st.plan.Vertex(consume, a.to) != faultsim.VertexUp {
+	if st.plan != nil && st.plan.Vertex(consume, st.extID(a.to)) != faultsim.VertexUp {
 		st.res.Dropped++
 		if st.full {
 			// consume-1 is the round being delivered: event rounds stay
 			// nondecreasing within the stream, which Bisect relies on.
 			st.bus.Emit(trace.Event{
 				Type: trace.EvDrop, Round: int32(consume - 1),
-				V: int32(a.msg.From), W: int32(a.to), X: 1,
+				V: int32(a.msg.From), W: int32(st.extID(a.to)), X: 1,
 			})
 		}
 		return

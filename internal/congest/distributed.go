@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/faultsim"
 	"repro/internal/rng"
@@ -62,6 +63,11 @@ type ShardConfig struct {
 	// Traced mirrors whether the run wants the full event stream; workers
 	// buffer Context.Emit and halt events only when set.
 	Traced bool
+	// Layout names the run's vertex ordering (Options.Layout). The fleet
+	// resolves it to ship relabeled (internal-order) adjacency plus the
+	// internal→external ID map; Lo/Hi/N and every frontier index are in
+	// internal order, while node identities stay external.
+	Layout string
 }
 
 // VertexFate is one non-Up fault verdict for a live vertex this round,
@@ -203,7 +209,11 @@ func (r *Runner) runDistributed() (Result, error) {
 	}
 	for v, nd := range r.nodes {
 		if _, ok := nd.(Porter); !ok {
-			return Result{}, fmt.Errorf("congest: distributed runs need every node to implement Porter; vertex %d (%T) does not", v, nd)
+			ev := v
+			if r.ext != nil {
+				ev = r.ext[v]
+			}
+			return Result{}, fmt.Errorf("congest: distributed runs need every node to implement Porter; vertex %d (%T) does not", ev, nd)
 		}
 	}
 	st := r.newExecState(fleet.NumShards())
@@ -212,7 +222,9 @@ func (r *Runner) runDistributed() (Result, error) {
 	if err := d.start(); err != nil {
 		return st.res, err
 	}
-	defer d.closeConns()
+	// Connections are NOT closed here: the Fleet owns them, so a fleet can
+	// serve several runs back-to-back (Fleet.Shard re-configures a live
+	// worker) and Fleet close tears them down.
 	res, err := r.runLoop(st, d.sweep, d.afterRound)
 	if outErr := d.collectOutputs(err != nil); err == nil && outErr != nil {
 		return res, outErr
@@ -244,6 +256,7 @@ func (d *distRun) start() error {
 			Seed:            d.r.opts.Seed,
 			MessageBitLimit: d.r.opts.MessageBitLimit,
 			Traced:          d.st.full,
+			Layout:          d.r.opts.Layout,
 		}
 		conn, err := d.fleet.Shard(d.cfgs[s])
 		if err != nil {
@@ -253,15 +266,6 @@ func (d *distRun) start() error {
 		d.lens[s] = make([]int32, sh.hi-sh.lo)
 	}
 	return nil
-}
-
-// closeConns releases every live connection (best effort).
-func (d *distRun) closeConns() {
-	for _, c := range d.conns {
-		if c != nil {
-			c.Close()
-		}
-	}
 }
 
 // sweep is the distributed driver's round body: build every shard's
@@ -324,7 +328,8 @@ func (d *distRun) scanFates(sh *shard, round int) []VertexFate {
 			b := bits.TrailingZeros64(rem)
 			rem &^= 1 << uint(b)
 			v := vbase + b
-			switch st.plan.Vertex(round, v) {
+			// v indexes the internal frontier; plans speak external IDs.
+			switch st.plan.Vertex(round, st.extID(v)) {
 			case faultsim.VertexGone:
 				fates = append(fates, VertexFate{V: int32(v), Fate: int32(faultsim.VertexGone)})
 				sh.frontier[wi] &^= 1 << uint(b)
@@ -458,7 +463,18 @@ func (d *distRun) apply(round int) {
 		}
 		if sh.err == nil {
 			for _, p := range out.Packets {
-				if int(p.To) < 0 || int(p.To) >= len(st.inboxLen) || int(p.From) < sh.lo || int(p.From) >= sh.hi {
+				// Packet.To addresses internal storage; Packet.From is the
+				// sender's external ID, mapped through perm to check it
+				// belongs to this shard's internal range.
+				ifrom, ok := int(p.From), true
+				if st.perm != nil {
+					if ifrom < 0 || ifrom >= len(st.perm) {
+						ok = false
+					} else {
+						ifrom = st.perm[ifrom]
+					}
+				}
+				if !ok || int(p.To) < 0 || int(p.To) >= len(st.inboxLen) || ifrom < sh.lo || ifrom >= sh.hi {
 					sh.err = fmt.Errorf("congest: distributed shard %d returned packet with invalid addressing %d→%d", s, p.From, p.To)
 					break
 				}
@@ -609,6 +625,7 @@ type ShardWorker struct {
 	sh     *shard
 	ctxs   []Context
 	nodes  []Node
+	ext    []int   // internal -> external ID map; nil = identity layout
 	round  int     // next expected round
 	fate   []uint8 // per-vertex fate scratch for the current round
 	off    []int   // per-vertex inbox offset scratch
@@ -616,13 +633,27 @@ type ShardWorker struct {
 	pkts   []Packet
 }
 
+// extID translates one of this shard's internal vertex IDs to its
+// external (original) ID.
+func (w *ShardWorker) extID(v int) int {
+	if w.ext == nil {
+		return v
+	}
+	return w.ext[v]
+}
+
 // NewShardWorker builds the sweep engine for cfg. neighbors(v) must
-// return the sorted adjacency of each owned vertex v in [cfg.Lo, cfg.Hi);
-// factory(v) must return the same state machine the coordinator's mirror
-// uses. Every node must implement Porter.
-func NewShardWorker(cfg ShardConfig, neighbors func(v int) []int, factory func(v int) Node) (*ShardWorker, error) {
+// return the sorted internal-order adjacency of each owned vertex v in
+// [cfg.Lo, cfg.Hi). ext maps internal IDs to external (original) IDs for
+// the whole graph under a non-identity layout — nil means identity.
+// factory is called with external IDs and must return the same state
+// machine the coordinator's mirror uses. Every node must implement Porter.
+func NewShardWorker(cfg ShardConfig, neighbors func(v int) []int, ext []int, factory func(v int) Node) (*ShardWorker, error) {
 	if cfg.Lo < 0 || cfg.Hi < cfg.Lo || cfg.Hi > cfg.N {
 		return nil, fmt.Errorf("congest: shard range [%d, %d) invalid for n=%d", cfg.Lo, cfg.Hi, cfg.N)
+	}
+	if ext != nil && len(ext) != cfg.N {
+		return nil, fmt.Errorf("congest: shard got %d ID-map entries for n=%d", len(ext), cfg.N)
 	}
 	width := cfg.Hi - cfg.Lo
 	w := &ShardWorker{
@@ -631,23 +662,41 @@ func NewShardWorker(cfg ShardConfig, neighbors func(v int) []int, factory func(v
 		sh:    &shard{idx: cfg.Index, out: make([][]addressed, 1)},
 		ctxs:  make([]Context, width),
 		nodes: make([]Node, width),
+		ext:   ext,
 		fate:  make([]uint8, width),
 		off:   make([]int, width),
 	}
 	w.sh.resetFrontier(cfg.Lo, cfg.Hi)
 	root := rng.New(cfg.Seed)
 	for v := cfg.Lo; v < cfg.Hi; v++ {
-		nd := factory(v)
+		extv := w.extID(v)
+		nd := factory(extv)
 		if _, ok := nd.(Porter); !ok {
-			return nil, fmt.Errorf("congest: distributed runs need every node to implement Porter; vertex %d (%T) does not", v, nd)
+			return nil, fmt.Errorf("congest: distributed runs need every node to implement Porter; vertex %d (%T) does not", extv, nd)
 		}
 		i := v - cfg.Lo
 		w.nodes[i] = nd
+		// The context mirrors the coordinator's: external identity and
+		// external-sorted neighbor list, internal send targets. Identity
+		// layout aliases the shipped adjacency row for both.
+		nbrs := neighbors(v)
+		tgts := nbrs
+		if ext != nil {
+			row := nbrs
+			nbrs = make([]int, len(row))
+			tgts = make([]int, len(row))
+			for j, q := range row {
+				nbrs[j] = ext[q]
+				tgts[j] = q
+			}
+			sort.Sort(&pairByExt{ext: nbrs, tgt: tgts})
+		}
 		w.ctxs[i] = Context{
-			id:        v,
+			id:        extv,
 			n:         cfg.N,
-			neighbors: neighbors(v),
-			rng:       root.Split(uint64(v)),
+			neighbors: nbrs,
+			targets:   tgts,
+			rng:       root.Split(uint64(extv)),
 			shard:     w.sh,
 			runner:    w.r,
 		}
@@ -752,10 +801,12 @@ func (w *ShardWorker) sweep(in RoundInput) {
 			if ctx.halted {
 				sh.frontier[wi] &^= 1 << uint(b)
 				sh.liveCount--
+				// Halted addresses the coordinator's internal frontier;
+				// the trace event reports the external identity.
 				w.halted = append(w.halted, int32(v))
 				if w.r.traced {
 					sh.events = append(sh.events, trace.Event{
-						Type: trace.EvHalt, Round: int32(round), V: int32(v),
+						Type: trace.EvHalt, Round: int32(round), V: int32(w.extID(v)),
 					})
 				}
 			}

@@ -125,10 +125,13 @@ func (r *Runner) startRound(st *execState, round int) {
 	if st.plan == nil || round == 0 {
 		return
 	}
+	// The scan walks internal storage order (that is the order every
+	// driver shares) but plans and events speak external IDs.
 	for v := 0; v < len(st.ctxs); v++ {
-		if f := st.plan.Vertex(round, v); f != faultsim.VertexUp {
+		ev := st.extID(v)
+		if f := st.plan.Vertex(round, ev); f != faultsim.VertexUp {
 			st.bus.Emit(trace.Event{
-				Type: trace.EvVertexFate, Round: int32(round), V: int32(v), X: int64(f),
+				Type: trace.EvVertexFate, Round: int32(round), V: int32(ev), X: int64(f),
 			})
 		}
 	}

@@ -200,12 +200,14 @@ func payloadKind(p []byte) (frameKind, *decoder, error) {
 }
 
 // configMsg is the fkConfig payload: the engine shard config, the
-// program spec, the owned vertices' adjacency, and the requested metrics
-// listen address.
+// program spec, the owned vertices' adjacency (internal order under a
+// non-identity layout), the whole graph's internal→external ID map (empty
+// for identity), and the requested metrics listen address.
 type configMsg struct {
 	cfg         congest.ShardConfig
 	prog        Program
 	adj         [][]int
+	ext         []int // internal -> external IDs for the whole graph; nil = identity
 	metricsAddr string
 }
 
@@ -226,12 +228,17 @@ func encodeConfig(e *encoder, m configMsg) {
 	} else {
 		e.u8(0)
 	}
+	e.str(c.Layout)
 	e.str(m.prog.Algorithm)
 	e.u64(uint64(len(m.prog.Args)))
 	for _, a := range m.prog.Args {
 		e.fix64(a)
 	}
 	e.str(m.metricsAddr)
+	e.u64(uint64(len(m.ext)))
+	for _, x := range m.ext {
+		e.u64(uint64(x))
+	}
 	for _, nbrs := range m.adj {
 		e.u64(uint64(len(nbrs)))
 		prev := 0
@@ -287,6 +294,9 @@ func decodeConfig(d *decoder) (configMsg, error) {
 		return m, err
 	}
 	m.cfg.Traced = traced != 0
+	if m.cfg.Layout, err = d.str("config.layout"); err != nil {
+		return m, err
+	}
 	if m.prog.Algorithm, err = d.str("config.algorithm"); err != nil {
 		return m, err
 	}
@@ -305,6 +315,31 @@ func decodeConfig(d *decoder) (configMsg, error) {
 	}
 	if m.cfg.Lo < 0 || m.cfg.Hi < m.cfg.Lo || m.cfg.Hi > m.cfg.N {
 		return m, fmt.Errorf("distrib: config shard range [%d, %d) invalid for n=%d", m.cfg.Lo, m.cfg.Hi, m.cfg.N)
+	}
+	nExt, err := d.count("config.ext", 1)
+	if err != nil {
+		return m, err
+	}
+	if nExt != 0 {
+		// The ID map must be a full permutation of [0, N): anything less
+		// would let a corrupt frame alias two internal vertices to one
+		// external identity.
+		if nExt != m.cfg.N {
+			return m, fmt.Errorf("distrib: config ID map has %d entries for n=%d", nExt, m.cfg.N)
+		}
+		m.ext = make([]int, nExt)
+		seen := make([]bool, nExt)
+		for i := range m.ext {
+			x, err := d.u64("config.ext-id")
+			if err != nil {
+				return m, err
+			}
+			if x >= uint64(nExt) || seen[x] {
+				return m, d.errAt("config.ext-id", "not a permutation")
+			}
+			seen[x] = true
+			m.ext[i] = int(x)
+		}
 	}
 	m.adj = make([][]int, m.cfg.Hi-m.cfg.Lo)
 	for i := range m.adj {
@@ -413,8 +448,40 @@ func decodeMessage(d *decoder) (congest.Message, error) {
 	return msg, nil
 }
 
-// decodeRound parses an fkRound body.
+// decodeScratch holds the grow-only buffers one connection reuses across
+// frame decodes: steady-state rounds re-fill previously allocated slices
+// instead of making fresh ones per frame. The decoded structures alias the
+// scratch, so a result is valid only until the same scratch's next decode
+// — which matches how both ends consume frames (a round input is fully
+// swept, a round output fully applied and digested, before the next
+// frame is read).
+type decodeScratch struct {
+	fates  []congest.VertexFate
+	lens   []int32
+	inbox  []congest.Message
+	pkts   []congest.Packet
+	events []trace.Event
+	halted []int32
+	vals   []uint64
+}
+
+// grown returns s resized to n elements, reallocating only on growth.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// decodeRound parses an fkRound body into freshly allocated slices.
+// Connections that decode many frames should use decodeScratch.round.
 func decodeRound(d *decoder) (congest.RoundInput, error) {
+	var sc decodeScratch
+	return sc.round(d)
+}
+
+// round parses an fkRound body, reusing the scratch buffers.
+func (sc *decodeScratch) round(d *decoder) (congest.RoundInput, error) {
 	var in congest.RoundInput
 	round, err := d.u64("round.number")
 	if err != nil {
@@ -428,7 +495,8 @@ func decodeRound(d *decoder) (congest.RoundInput, error) {
 	if err != nil {
 		return in, err
 	}
-	in.Fates = make([]congest.VertexFate, nFates)
+	sc.fates = grown(sc.fates, nFates)
+	in.Fates = sc.fates
 	for i := range in.Fates {
 		v, err := d.u64("round.fate-vertex")
 		if err != nil {
@@ -447,7 +515,8 @@ func decodeRound(d *decoder) (congest.RoundInput, error) {
 	if err != nil {
 		return in, err
 	}
-	in.InboxLens = make([]int32, nLens)
+	sc.lens = grown(sc.lens, nLens)
+	in.InboxLens = sc.lens
 	for i := range in.InboxLens {
 		l, err := d.u64("round.inbox-len")
 		if err != nil {
@@ -462,7 +531,8 @@ func decodeRound(d *decoder) (congest.RoundInput, error) {
 	if err != nil {
 		return in, err
 	}
-	in.Inbox = make([]congest.Message, nMsgs)
+	sc.inbox = grown(sc.inbox, nMsgs)
+	in.Inbox = sc.inbox
 	for i := range in.Inbox {
 		if in.Inbox[i], err = decodeMessage(d); err != nil {
 			return in, err
@@ -502,14 +572,22 @@ func encodeSweep(e *encoder, out congest.RoundOutput) {
 	e.str(out.Err)
 }
 
-// decodeSweep parses an fkSweep body.
+// decodeSweep parses an fkSweep body into freshly allocated slices.
+// Connections that decode many frames should use decodeScratch.sweep.
 func decodeSweep(d *decoder) (congest.RoundOutput, error) {
+	var sc decodeScratch
+	return sc.sweep(d)
+}
+
+// sweep parses an fkSweep body, reusing the scratch buffers.
+func (sc *decodeScratch) sweep(d *decoder) (congest.RoundOutput, error) {
 	var out congest.RoundOutput
 	nPkts, err := d.count("sweep.packets", 13)
 	if err != nil {
 		return out, err
 	}
-	out.Packets = make([]congest.Packet, nPkts)
+	sc.pkts = grown(sc.pkts, nPkts)
+	out.Packets = sc.pkts
 	for i := range out.Packets {
 		var p congest.Packet
 		to, err := d.u64("sweep.packet-to")
@@ -549,7 +627,8 @@ func decodeSweep(d *decoder) (congest.RoundOutput, error) {
 	if err != nil {
 		return out, err
 	}
-	out.Events = make([]trace.Event, nEvents)
+	sc.events = grown(sc.events, nEvents)
+	out.Events = sc.events
 	for i := range out.Events {
 		var ev trace.Event
 		t, err := d.u8("sweep.event-type")
@@ -592,7 +671,8 @@ func decodeSweep(d *decoder) (congest.RoundOutput, error) {
 	if err != nil {
 		return out, err
 	}
-	out.Halted = make([]int32, nHalted)
+	sc.halted = grown(sc.halted, nHalted)
+	out.Halted = sc.halted
 	for i := range out.Halted {
 		v, err := d.u64("sweep.halted-vertex")
 		if err != nil {
@@ -626,13 +706,20 @@ func encodeOutputs(e *encoder, vals []uint64) {
 	}
 }
 
-// decodeOutputs parses an fkOutputs body.
+// decodeOutputs parses an fkOutputs body into a fresh slice.
 func decodeOutputs(d *decoder) ([]uint64, error) {
+	var sc decodeScratch
+	return sc.outputs(d)
+}
+
+// outputs parses an fkOutputs body, reusing the scratch buffer.
+func (sc *decodeScratch) outputs(d *decoder) ([]uint64, error) {
 	n, err := d.count("outputs.count", 8)
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]uint64, n)
+	sc.vals = grown(sc.vals, n)
+	vals := sc.vals
 	for i := range vals {
 		if vals[i], err = d.fix64("outputs.value"); err != nil {
 			return nil, err

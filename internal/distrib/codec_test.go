@@ -149,6 +149,7 @@ func TestConfigRoundTrip(t *testing.T) {
 		cfg: congest.ShardConfig{
 			Index: 2, NumShards: 4, Lo: 10, Hi: 14, N: 1 << 20,
 			Seed: math.MaxUint64, MessageBitLimit: 128, Traced: true,
+			Layout: "degsort",
 		},
 		prog:        Program{Algorithm: "colevishkin", Args: []uint64{0, 1, math.MaxUint64, 42}},
 		adj:         [][]int{{0, 1, 1<<20 - 1}, {}, {13}, {3, 7, 11, 12}},
@@ -307,9 +308,11 @@ func TestNonAscendingAdjacencyRejected(t *testing.T) {
 	e.fix64(7) // seed
 	e.u64(0)   // bit limit
 	e.u8(0)    // traced
+	e.str("")  // layout
 	e.str("metivier")
 	e.u64(0) // args
 	e.str("")
+	e.u64(0) // ext: identity
 	e.u64(3) // degree of vertex 0
 	e.u64(4)
 	e.u64(0) // zero delta: duplicate neighbor
@@ -318,6 +321,216 @@ func TestNonAscendingAdjacencyRejected(t *testing.T) {
 	_, dec, _ := payloadKind(e.buf)
 	if _, err := decodeConfig(dec); err == nil || !strings.Contains(err.Error(), "non-ascending adjacency") {
 		t.Fatalf("duplicate adjacency not rejected: %v", err)
+	}
+}
+
+// TestConfigExtRoundTrip exercises the handshake's external-ID map: a
+// full permutation survives the trip, and identity ships as zero entries.
+func TestConfigExtRoundTrip(t *testing.T) {
+	m := configMsg{
+		cfg: congest.ShardConfig{
+			Index: 0, NumShards: 2, Lo: 0, Hi: 3, N: 6, Seed: 7, Layout: "bfs",
+		},
+		prog: Program{Algorithm: "metivier"},
+		ext:  []int{5, 3, 0, 1, 4, 2},
+		adj:  [][]int{{1, 2}, {0}, {0, 5}},
+	}
+	var e encoder
+	encodeConfig(&e, m)
+	_, dec, err := payloadKind(e.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeConfig(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoder canonicalizes empty args to an empty slice.
+	if len(got.prog.Args) == 0 && len(m.prog.Args) == 0 {
+		got.prog.Args = m.prog.Args
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("ext config did not survive the round trip:\n got %+v\nwant %+v", got, m)
+	}
+
+	m.ext = nil
+	m.cfg.Layout = ""
+	encodeConfig(&e, m)
+	_, dec, _ = payloadKind(e.buf)
+	got, err = decodeConfig(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ext != nil {
+		t.Fatalf("identity config decoded a non-nil ext map: %v", got.ext)
+	}
+}
+
+// TestConfigExtRejected feeds the decoder corrupt external-ID maps: a
+// count that is neither 0 nor N, an out-of-range entry, and a duplicate.
+// Each must fail with a contextual error, never alias two vertices.
+func TestConfigExtRejected(t *testing.T) {
+	encode := func(ext []uint64, extCount uint64) []byte {
+		var e encoder
+		e.reset(fkConfig)
+		for _, x := range []uint64{0, 1, 0, 4, 4} { // index, shards, lo, hi, n
+			e.u64(x)
+		}
+		e.fix64(7) // seed
+		e.u64(0)   // bit limit
+		e.u8(0)    // traced
+		e.str("")  // layout
+		e.str("metivier")
+		e.u64(0) // args
+		e.str("")
+		e.u64(extCount)
+		for _, x := range ext {
+			e.u64(x)
+		}
+		// Adjacency rows omitted: the ext map must fail first.
+		return append([]byte(nil), e.buf...)
+	}
+	cases := []struct {
+		name string
+		ext  []uint64
+		n    uint64
+		want string
+	}{
+		{"short count", []uint64{0, 1, 2}, 3, "3 entries for n=4"},
+		{"out of range", []uint64{0, 1, 2, 4}, 4, "not a permutation"},
+		{"duplicate", []uint64{0, 1, 1, 2}, 4, "not a permutation"},
+	}
+	for _, tc := range cases {
+		_, dec, err := payloadKind(encode(tc.ext, tc.n))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if _, err := decodeConfig(dec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: corrupt ext map not rejected: %v", tc.name, err)
+		}
+	}
+}
+
+// TestDecodeScratchReuse drives one decodeScratch through a sequence of
+// frames with very different sizes — the reused-buffer path every worker
+// and coordinator connection runs — and checks each decode matches a
+// fresh-allocation decode, including shrinking after a large frame.
+func TestDecodeScratchReuse(t *testing.T) {
+	r := rng.New(0xc0de)
+	mkRound := func(nMsgs, nFates, nLens int) congest.RoundInput {
+		in := congest.RoundInput{Round: int(r.Uint64() % 100)}
+		for i := 0; i < nFates; i++ {
+			in.Fates = append(in.Fates, congest.VertexFate{V: int32(i), Fate: int32(r.Uint64() % 3)})
+		}
+		for i := 0; i < nLens; i++ {
+			in.InboxLens = append(in.InboxLens, 0)
+		}
+		for i := 0; i < nMsgs; i++ {
+			if nLens > 0 {
+				in.InboxLens[int(r.Uint64()%uint64(nLens))]++
+			}
+			in.Inbox = append(in.Inbox, congest.Message{
+				From: int(r.Uint64() % 1000),
+				Wire: congest.Wire{Kind: proto.WireFlag, Bits: 64, A: r.Uint64()},
+			})
+		}
+		// Inbox is delivered grouped by destination; only the lens sum matters.
+		if nLens == 0 {
+			in.Inbox = nil
+		}
+		return in
+	}
+	var e encoder
+	var sc decodeScratch
+	sizes := []struct{ msgs, fates, lens int }{
+		{0, 0, 0}, {1000, 64, 32}, {3, 1, 2}, {0, 0, 8}, {500, 0, 16}, {1, 1, 1},
+	}
+	for i, sz := range sizes {
+		in := mkRound(sz.msgs, sz.fates, sz.lens)
+		encodeRound(&e, in)
+		_, dec, err := payloadKind(e.buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := sc.round(dec)
+		if err != nil {
+			t.Fatalf("frame %d: scratch decode: %v", i, err)
+		}
+		_, dec, _ = payloadKind(e.buf)
+		fresh, err := decodeRound(dec)
+		if err != nil {
+			t.Fatalf("frame %d: fresh decode: %v", i, err)
+		}
+		// The scratch path hands back empty (not nil) slices for empty
+		// sections; only contents matter on the wire.
+		normRound(&got)
+		normRound(&fresh)
+		if !reflect.DeepEqual(got, fresh) {
+			t.Fatalf("frame %d: scratch decode diverged from fresh decode:\n got %+v\nwant %+v", i, got, fresh)
+		}
+	}
+	// The sweep and outputs paths share the same scratch.
+	outSizes := []int{0, 2000, 5}
+	for i, n := range outSizes {
+		out := congest.RoundOutput{Draws: uint64(n)}
+		for j := 0; j < n; j++ {
+			out.Packets = append(out.Packets, congest.Packet{
+				To: int32(j), From: int32(j), Wire: congest.Wire{Kind: proto.WireFlag, Bits: 1, A: 1},
+			})
+			out.Halted = append(out.Halted, int32(j))
+		}
+		encodeSweep(&e, out)
+		_, dec, _ := payloadKind(e.buf)
+		got, err := sc.sweep(dec)
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		_, dec, _ = payloadKind(e.buf)
+		fresh, _ := decodeSweep(dec)
+		normSweep(&got)
+		normSweep(&fresh)
+		if !reflect.DeepEqual(got, fresh) {
+			t.Fatalf("sweep %d: scratch decode diverged from fresh decode", i)
+		}
+		vals := make([]uint64, n)
+		for j := range vals {
+			vals[j] = r.Uint64()
+		}
+		encodeOutputs(&e, vals)
+		_, dec, _ = payloadKind(e.buf)
+		gotVals, err := sc.outputs(dec)
+		if err != nil {
+			t.Fatalf("outputs %d: %v", i, err)
+		}
+		if len(gotVals) != len(vals) || (len(vals) > 0 && !reflect.DeepEqual(gotVals, vals)) {
+			t.Fatalf("outputs %d: scratch decode diverged: got %v want %v", i, gotVals, vals)
+		}
+	}
+}
+
+// normRound and normSweep map empty slices to nil so scratch-backed and
+// freshly allocated decodes compare equal.
+func normRound(in *congest.RoundInput) {
+	if len(in.Fates) == 0 {
+		in.Fates = nil
+	}
+	if len(in.InboxLens) == 0 {
+		in.InboxLens = nil
+	}
+	if len(in.Inbox) == 0 {
+		in.Inbox = nil
+	}
+}
+
+func normSweep(out *congest.RoundOutput) {
+	if len(out.Packets) == 0 {
+		out.Packets = nil
+	}
+	if len(out.Events) == 0 {
+		out.Events = nil
+	}
+	if len(out.Halted) == 0 {
+		out.Halted = nil
 	}
 }
 

@@ -339,6 +339,99 @@ func TestDistributedCrashRecovery(t *testing.T) {
 	checkGolden(t, "recovered", g, base.Statuses(r, n), res, plan)
 }
 
+// TestFleetReuse is the fleet-reuse guarantee: one ExecFleet serves
+// several runs back-to-back over the same worker processes — a clean
+// traced run, the pinned golden faulted run, and a relabeled run — each
+// reconfigured over the live connections, with no respawns in between,
+// and every run bit-identical to its sequential reference.
+func TestFleetReuse(t *testing.T) {
+	n := 256
+	g := gen.UnionOfTrees(n, 2, rng.New(77))
+	prog := distrib.Program{Algorithm: "ftmetivier"}
+	shards := 4
+	fleet, err := distrib.NewExecFleet(g, prog, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	factory, err := distrib.Factory(prog, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1 (clean, traced): pins the deterministic event fingerprint
+	// against a traced sequential run of the same options.
+	distRec := trace.NewRecorder(0)
+	r1 := congest.NewRunner(g, factory, congest.Options{
+		Seed: 42, Events: distRec, Driver: congest.DriverDistributed, Fleet: fleet,
+	})
+	res1, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRec := trace.NewRecorder(0)
+	seqRunner := congest.NewRunner(g, factory, congest.Options{Seed: 42, Events: seqRec})
+	seqRes, err := seqRunner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != seqRes {
+		t.Fatalf("run 1: Result %+v != sequential %+v", res1, seqRes)
+	}
+	if distRec.Fingerprint() != seqRec.Fingerprint() {
+		t.Fatalf("run 1: fingerprint %#x != sequential %#x", distRec.Fingerprint(), seqRec.Fingerprint())
+	}
+	pids := make([]int, shards)
+	for s := range pids {
+		if pids[s] = fleet.Pid(s); pids[s] <= 0 {
+			t.Fatalf("run 1: shard %d has no live worker", s)
+		}
+	}
+
+	// Run 2 (faulted): the same processes must reproduce the pinned
+	// golden faulted execution after in-place reconfiguration.
+	plan := goldenFaultedPlan()
+	r2 := congest.NewRunner(g, factory, congest.Options{
+		Seed: 1234, Faults: plan, MaxRounds: 400,
+		Driver: congest.DriverDistributed, Fleet: fleet,
+	})
+	res2, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "reused fleet", g, base.Statuses(r2, n), res2, plan)
+
+	// Run 3 (relabeled): reuse once more under a non-identity layout; the
+	// external-ID statuses must match the sequential run of that layout.
+	r3 := congest.NewRunner(g, factory, congest.Options{
+		Seed: 42, Layout: "bfs", Driver: congest.DriverDistributed, Fleet: fleet,
+	})
+	res3, err := r3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSt, seqRes3, err := runSequential(t, g, prog, congest.Options{Seed: 42, Layout: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 != seqRes3 {
+		t.Fatalf("run 3: Result %+v != sequential %+v", res3, seqRes3)
+	}
+	distSt := base.Statuses(r3, n)
+	for v := range seqSt {
+		if seqSt[v] != distSt[v] {
+			t.Fatalf("run 3: node %d status %v sequential, %v distributed", v, seqSt[v], distSt[v])
+		}
+	}
+
+	// All three runs must have ridden the same worker processes.
+	for s := range pids {
+		if got := fleet.Pid(s); got != pids[s] {
+			t.Fatalf("shard %d respawned between runs: pid %d -> %d", s, pids[s], got)
+		}
+	}
+}
+
 // TestDialFleetTCP runs the distributed driver over TCP against
 // in-process listeners speaking the worker protocol — the transport
 // cmd/misnode serves — and checks bit-identity with sequential.

@@ -10,26 +10,66 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/layout"
 )
 
 // spawnTimeout bounds how long ExecFleet waits for a just-spawned worker
-// to dial back, and dialTimeout how long DialFleet retries a misnode
-// address before giving up.
+// to dial back, dialTimeout how long DialFleet retries a misnode address
+// before giving up, and rehandshakeTimeout how long a fleet waits for a
+// kept-alive worker to accept a new run's config before falling back to
+// a respawn (a wedged worker must not hang the next run).
 const (
-	spawnTimeout = 30 * time.Second
-	dialTimeout  = 10 * time.Second
+	spawnTimeout       = 30 * time.Second
+	dialTimeout        = 10 * time.Second
+	rehandshakeTimeout = 5 * time.Second
 )
 
+// layoutView caches the fleet side of a run's vertex ordering: the
+// relabeled internal-order graph plus the internal→external ID map that
+// the config frames ship. Fleets resolve it lazily on the first Shard
+// call and keep it for the fleet's life, so reconfiguring a reused fleet
+// for another run of the same layout costs nothing.
+type layoutView struct {
+	resolved bool
+	name     layout.Ordering
+	ig       *graph.Graph
+	ext      []int
+}
+
+// view resolves (and caches) the ordering for g.
+func (lv *layoutView) view(g *graph.Graph, name string) (*graph.Graph, []int, error) {
+	o, err := layout.Parse(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lv.resolved && lv.name == o {
+		return lv.ig, lv.ext, nil
+	}
+	perm, ext, err := layout.Compute(g, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	ig := g
+	if perm != nil {
+		if ig, err = graph.Relabel(g, perm); err != nil {
+			return nil, nil, err
+		}
+	}
+	lv.resolved, lv.name, lv.ig, lv.ext = true, o, ig, ext
+	return ig, ext, nil
+}
+
 // handshake runs the coordinator side of connection setup: ship the
-// shard's config (program spec + adjacency of the owned range) and read
-// the worker's hello. It returns the worker's metrics address.
-func handshake(fc *frameConn, g *graph.Graph, prog Program, cfg congest.ShardConfig, metricsAddr string) (string, error) {
+// shard's config (program spec + internal-order adjacency of the owned
+// range + ID map) and read the worker's hello. It returns the worker's
+// metrics address.
+func handshake(fc *frameConn, ig *graph.Graph, ext []int, prog Program, cfg congest.ShardConfig, metricsAddr string) (string, error) {
 	adj := make([][]int, cfg.Hi-cfg.Lo)
 	for v := cfg.Lo; v < cfg.Hi; v++ {
-		adj[v-cfg.Lo] = g.Neighbors(v)
+		adj[v-cfg.Lo] = ig.Neighbors(v)
 	}
 	var enc encoder
-	encodeConfig(&enc, configMsg{cfg: cfg, prog: prog, adj: adj, metricsAddr: metricsAddr})
+	encodeConfig(&enc, configMsg{cfg: cfg, prog: prog, adj: adj, ext: ext, metricsAddr: metricsAddr})
 	if err := fc.writeFrame(enc.buf); err != nil {
 		return "", err
 	}
@@ -61,6 +101,7 @@ func handshake(fc *frameConn, g *graph.Graph, prog Program, cfg congest.ShardCon
 type shardConn struct {
 	fc      *frameConn
 	enc     encoder
+	dec     decodeScratch
 	sentAt  time.Time
 	lastOut int64
 }
@@ -96,7 +137,7 @@ func (sc *shardConn) Recv() (congest.RoundOutput, error) {
 	var out congest.RoundOutput
 	switch kind {
 	case fkSweep:
-		if out, err = decodeSweep(dec); err != nil {
+		if out, err = sc.dec.sweep(dec); err != nil {
 			return congest.RoundOutput{}, err
 		}
 	case fkError:
@@ -130,7 +171,7 @@ func (sc *shardConn) Outputs() ([]uint64, error) {
 	}
 	switch kind {
 	case fkOutputs:
-		return decodeOutputs(dec)
+		return sc.dec.outputs(dec)
 	case fkError:
 		msg, derr := decodeError(dec)
 		if derr != nil {
@@ -144,6 +185,24 @@ func (sc *shardConn) Outputs() ([]uint64, error) {
 
 // Close tears the connection down.
 func (sc *shardConn) Close() error { return sc.fc.close() }
+
+// rehandshake re-runs the config handshake on a live worker connection
+// (fleet reuse: one spawned fleet serving several runs back-to-back).
+// The whole exchange runs under a socket deadline so a wedged or
+// mid-run worker fails fast instead of hanging the next run; the caller
+// falls back to a respawn on any error.
+//
+//lint:advisory the rehandshake deadline is a liveness timeout on worker reconfiguration, never program logic
+func rehandshake(fc *frameConn, ig *graph.Graph, ext []int, prog Program, cfg congest.ShardConfig, metricsAddr string) (string, error) {
+	if err := fc.c.SetDeadline(time.Now().Add(rehandshakeTimeout)); err != nil {
+		return "", err
+	}
+	addr, err := handshake(fc, ig, ext, prog, cfg, metricsAddr)
+	if derr := fc.c.SetDeadline(time.Time{}); err == nil && derr != nil {
+		return "", derr
+	}
+	return addr, err
+}
 
 // ExecFleet spawns shard workers by re-executing the current binary with
 // the MISNODE_SOCKET environment variable set (see MaybeWorker): each
@@ -161,6 +220,7 @@ type ExecFleet struct {
 	cmds         []*exec.Cmd
 	conns        []*shardConn
 	metricsAddrs []string
+	lv           layoutView
 }
 
 // ExecOption configures an ExecFleet.
@@ -232,15 +292,35 @@ func (f *ExecFleet) Pid(shard int) int {
 // metrics are off or the shard has not started).
 func (f *ExecFleet) MetricsAddr(shard int) string { return f.metricsAddrs[shard] }
 
-// Shard spawns (or, during crash recovery, respawns) the worker for
-// cfg.Index: start the process, accept its dial-back, and run the config
-// handshake.
+// Shard provides the worker for cfg.Index. A worker kept alive by a
+// previous run on this fleet is reused: the fleet re-runs the config
+// handshake on its live connection (workers loop back to config-wait
+// after exporting outputs), so consecutive runs skip the process spawn.
+// Any rehandshake failure — the worker died, is wedged mid-run, or
+// rejected the config — falls back to the spawn path, which is also how
+// crash recovery respawns a shard mid-run.
 //
 //lint:advisory the accept deadline is a liveness timeout on worker startup, never program logic
 func (f *ExecFleet) Shard(cfg congest.ShardConfig) (congest.ShardConn, error) {
 	s := cfg.Index
 	if s < 0 || s >= f.shards {
 		return nil, fmt.Errorf("distrib: shard index %d outside fleet of %d", s, f.shards)
+	}
+	ig, ext, err := f.lv.view(f.g, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	metricsReq := ""
+	if f.metrics {
+		metricsReq = "127.0.0.1:0"
+	}
+	if f.cmds[s] != nil && f.conns[s] != nil {
+		if addr, err := rehandshake(f.conns[s].fc, ig, ext, f.prog, cfg, metricsReq); err == nil {
+			f.metricsAddrs[s] = addr
+			return f.conns[s], nil
+		}
+		_ = f.conns[s].Close()
+		f.conns[s] = nil
 	}
 	f.reap(s)
 	exe, err := os.Executable()
@@ -265,11 +345,7 @@ func (f *ExecFleet) Shard(cfg congest.ShardConfig) (congest.ShardConn, error) {
 		return nil, fmt.Errorf("distrib: worker for shard %d never dialed back: %w", s, err)
 	}
 	fc := newFrameConn(conn)
-	metricsReq := ""
-	if f.metrics {
-		metricsReq = "127.0.0.1:0"
-	}
-	addr, err := handshake(fc, f.g, f.prog, cfg, metricsReq)
+	addr, err := handshake(fc, ig, ext, f.prog, cfg, metricsReq)
 	if err != nil {
 		_ = fc.close()
 		_ = cmd.Process.Kill()
@@ -319,6 +395,7 @@ type DialFleet struct {
 	prog  Program
 	addrs []string
 	conns []*shardConn
+	lv    layoutView
 }
 
 // NewDialFleet prepares a TCP fleet over the given misnode addresses.
@@ -350,9 +427,21 @@ func (f *DialFleet) Shard(cfg congest.ShardConfig) (congest.ShardConn, error) {
 	if s < 0 || s >= len(f.addrs) {
 		return nil, fmt.Errorf("distrib: shard index %d outside fleet of %d", s, len(f.addrs))
 	}
+	ig, ext, err := f.lv.view(f.g, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	// A connection kept alive by a previous run is reconfigured in place;
+	// failure falls through to a fresh dial.
+	if f.conns[s] != nil {
+		if _, err := rehandshake(f.conns[s].fc, ig, ext, f.prog, cfg, ""); err == nil {
+			return f.conns[s], nil
+		}
+		_ = f.conns[s].Close()
+		f.conns[s] = nil
+	}
 	deadline := time.Now().Add(dialTimeout)
 	var conn net.Conn
-	var err error
 	for {
 		conn, err = net.DialTimeout("tcp", f.addrs[s], time.Second)
 		if err == nil {
@@ -364,7 +453,7 @@ func (f *DialFleet) Shard(cfg congest.ShardConfig) (congest.ShardConn, error) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	fc := newFrameConn(conn)
-	if _, err := handshake(fc, f.g, f.prog, cfg, ""); err != nil {
+	if _, err := handshake(fc, ig, ext, f.prog, cfg, ""); err != nil {
 		_ = fc.close()
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -20,8 +22,8 @@ const workerSocketEnv = "MISNODE_SOCKET"
 // otherwise. ExecFleet spawns workers by re-executing the current binary
 // with that variable set, so every binary (and every test binary, via
 // TestMain) that drives an ExecFleet must call MaybeWorker first — the
-// worker serves exactly one run over the socket and exits without ever
-// reaching the caller's own main body.
+// worker serves runs over the socket until the fleet closes it, then
+// exits without ever reaching the caller's own main body.
 func MaybeWorker() {
 	path := os.Getenv(workerSocketEnv)
 	if path == "" {
@@ -88,12 +90,20 @@ func serveMetrics(addr string, reg *trace.Registry) (string, error) {
 
 // ServeConn runs the worker side of the shard protocol over an
 // established coordinator connection: config, hello, then round sweeps
-// until the finish/outputs exchange ends the run. It returns nil after a
-// completed run; any protocol failure is sent to the coordinator as an
-// error frame (best effort) and returned.
+// until the finish/outputs exchange ends the run — and then back to
+// waiting for the next run's config, so one worker process serves a
+// reused fleet back-to-back. It returns nil when the coordinator closes
+// the connection cleanly between runs; any protocol failure is sent to
+// the coordinator as an error frame (best effort) and returned. The
+// metrics endpoint, when requested, is bound once per connection and its
+// address re-announced in each run's hello. The frame codec's decode
+// buffers are likewise per-connection and reused across frames.
 func ServeConn(c net.Conn) error {
 	fc := newFrameConn(c)
 	var enc encoder
+	var sc decodeScratch
+	var m *workerMetrics
+	metricsAddr := ""
 
 	fail := func(err error) error {
 		encodeError(&enc, err.Error())
@@ -101,47 +111,62 @@ func ServeConn(c net.Conn) error {
 		return err
 	}
 
-	payload, err := fc.readFrame()
-	if err != nil {
-		return err
-	}
-	kind, dec, err := payloadKind(payload)
-	if err != nil {
-		return err
-	}
-	if kind != fkConfig {
-		return fail(fmt.Errorf("distrib: worker expected config frame, got %s", kind))
-	}
-	cm, err := decodeConfig(dec)
-	if err != nil {
-		return fail(err)
-	}
-	factory, err := Factory(cm.prog, cm.cfg.N)
-	if err != nil {
-		return fail(err)
-	}
-	adj := cm.adj
-	lo := cm.cfg.Lo
-	worker, err := congest.NewShardWorker(cm.cfg, func(v int) []int { return adj[v-lo] }, factory)
-	if err != nil {
-		return fail(err)
-	}
-
-	var m *workerMetrics
-	metricsAddr := ""
-	if cm.metricsAddr != "" {
-		m = newWorkerMetrics()
-		m.shard.Set(int64(cm.cfg.Index))
-		m.live.Set(int64(worker.Live()))
-		if metricsAddr, err = serveMetrics(cm.metricsAddr, m.reg); err != nil {
+	for {
+		payload, err := fc.readFrame()
+		if err != nil {
+			// EOF at config-wait is the clean between-runs shutdown: the
+			// fleet closed the connection instead of starting another run.
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		kind, dec, err := payloadKind(payload)
+		if err != nil {
+			return err
+		}
+		if kind != fkConfig {
+			return fail(fmt.Errorf("distrib: worker expected config frame, got %s", kind))
+		}
+		cm, err := decodeConfig(dec)
+		if err != nil {
 			return fail(err)
 		}
-	}
-	encodeHello(&enc, metricsAddr)
-	if err := fc.writeFrame(enc.buf); err != nil {
-		return err
-	}
+		factory, err := Factory(cm.prog, cm.cfg.N)
+		if err != nil {
+			return fail(err)
+		}
+		adj := cm.adj
+		lo := cm.cfg.Lo
+		worker, err := congest.NewShardWorker(cm.cfg, func(v int) []int { return adj[v-lo] }, cm.ext, factory)
+		if err != nil {
+			return fail(err)
+		}
 
+		if cm.metricsAddr != "" && m == nil {
+			m = newWorkerMetrics()
+			if metricsAddr, err = serveMetrics(cm.metricsAddr, m.reg); err != nil {
+				return fail(err)
+			}
+		}
+		if m != nil {
+			m.shard.Set(int64(cm.cfg.Index))
+			m.live.Set(int64(worker.Live()))
+		}
+		encodeHello(&enc, metricsAddr)
+		if err := fc.writeFrame(enc.buf); err != nil {
+			return err
+		}
+
+		if err := serveRun(fc, &enc, &sc, worker, m, fail); err != nil {
+			return err
+		}
+	}
+}
+
+// serveRun drives one run's round loop: sweep every fkRound until the
+// fkFinish/outputs exchange ends it.
+func serveRun(fc *frameConn, enc *encoder, sc *decodeScratch, worker *congest.ShardWorker, m *workerMetrics, fail func(error) error) error {
 	for {
 		payload, err := fc.readFrame()
 		if err != nil {
@@ -153,7 +178,7 @@ func ServeConn(c net.Conn) error {
 		}
 		switch kind {
 		case fkRound:
-			in, err := decodeRound(dec)
+			in, err := sc.round(dec)
 			if err != nil {
 				return fail(err)
 			}
@@ -161,7 +186,7 @@ func ServeConn(c net.Conn) error {
 			if err != nil {
 				return fail(err)
 			}
-			encodeSweep(&enc, out)
+			encodeSweep(enc, out)
 			if err := fc.writeFrame(enc.buf); err != nil {
 				return err
 			}
@@ -177,7 +202,7 @@ func ServeConn(c net.Conn) error {
 			if err := dec.done(); err != nil {
 				return fail(err)
 			}
-			encodeOutputs(&enc, worker.Outputs())
+			encodeOutputs(enc, worker.Outputs())
 			return fc.writeFrame(enc.buf)
 		default:
 			return fail(fmt.Errorf("distrib: worker expected round or finish frame, got %s", kind))

@@ -419,24 +419,10 @@ func maxInt(a, b int) int {
 // Relabel returns an isomorphic copy of g with vertex v renamed to
 // perm[v]. perm must be a permutation of 0..n-1. Relabeling is how the
 // tests check that algorithm guarantees do not secretly depend on the ID
-// assignment (IDs are only ever used for tie-breaking).
+// assignment (IDs are only ever used for tie-breaking). It delegates to
+// graph.Relabel, the direct CSR rebuild the engine's layout pass uses.
 func Relabel(g *graph.Graph, perm []int) (*graph.Graph, error) {
-	if len(perm) != g.N() {
-		return nil, fmt.Errorf("gen: permutation has %d entries for %d vertices", len(perm), g.N())
-	}
-	seen := make([]bool, g.N())
-	for _, p := range perm {
-		if p < 0 || p >= g.N() || seen[p] {
-			return nil, fmt.Errorf("gen: not a permutation (at %d)", p)
-		}
-		seen[p] = true
-	}
-	edges := g.Edges()
-	relabeled := make([]graph.Edge, len(edges))
-	for i, e := range edges {
-		relabeled[i] = graph.Edge{U: perm[e.U], V: perm[e.V]}
-	}
-	return graph.New(g.N(), relabeled)
+	return graph.Relabel(g, perm)
 }
 
 // RandomRegular returns a random d-regular graph on n vertices via the

@@ -38,6 +38,7 @@ var deterministicScopes = []string{
 	"internal/forest",
 	"internal/gen",
 	"internal/graph",
+	"internal/layout",
 	"internal/matching",
 	"internal/mis",
 	"internal/readk",
