@@ -14,10 +14,14 @@ vet:
 
 # Repo-specific static analysis (internal/lint via cmd/misvet): the
 # determinism and CONGEST contracts — no wall clocks / math/rand /
-# atomics / goroutines / map ranges in deterministic packages, a closed
-# wire-kind namespace, encoder bit sizes within congest.MaxWireBits, and
-# allocation-free //congest:hotpath functions. Any non-baselined finding
-# fails the build; see README "Static analysis" for the escape hatches.
+# atomics / goroutines / map ranges in deterministic packages, closed
+# wire-kind and frame-kind namespaces, encoder bit sizes within
+# congest.MaxWireBits, allocation-free //congest:hotpath call chains,
+# internal/external vertex-ID separation (idspace), and coordinator-only
+# randomness (draworder). Any non-baselined finding fails the build; the
+# summary line records the suite's wall time so analyzer cost
+# regressions show up in CI logs. See README "Static analysis" for the
+# escape hatches.
 misvet:
 	go run ./cmd/misvet ./...
 

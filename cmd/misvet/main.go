@@ -19,12 +19,22 @@
 //
 //	-json                emit findings as a JSON array instead of text
 //	-baseline FILE       suppress findings recorded in FILE (burn-down mode)
+//	-strict-baseline     treat stale baseline entries as an error
 //	-write-baseline FILE record current findings as the accepted baseline
 //	-only a,b            run only the named analyzers
 //	-list                list the analyzers and exit
 //
+// Baseline entries that no longer match any finding are stale: the
+// violation was fixed but the entry lingers. Stale entries are reported
+// as warnings so burn-down actually burns down; -strict-baseline makes
+// them fail the run (exit 1) until the baseline file is re-recorded.
+//
+// The summary line on stderr includes the suite's wall time, so analyzer
+// cost regressions are visible in CI logs.
+//
 // Exit status: 0 when clean (or every finding is baselined), 1 when
-// non-baselined findings exist, 2 on usage or load errors.
+// non-baselined findings exist (or stale entries under -strict-baseline),
+// 2 on usage or load errors.
 //
 // misvet is stdlib-only: it is a standalone checker rather than a
 // `go vet -vettool` plugin (which would require golang.org/x/tools), but
@@ -38,6 +48,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -50,12 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("misvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut       = fs.Bool("json", false, "emit findings as JSON")
-		baselinePath  = fs.String("baseline", "", "suppress findings recorded in this baseline file")
-		writeBaseline = fs.String("write-baseline", "", "record current findings to this baseline file and exit")
-		only          = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list          = fs.Bool("list", false, "list analyzers and exit")
-		dir           = fs.String("C", ".", "module directory to analyze")
+		jsonOut        = fs.Bool("json", false, "emit findings as JSON")
+		baselinePath   = fs.String("baseline", "", "suppress findings recorded in this baseline file")
+		strictBaseline = fs.Bool("strict-baseline", false, "treat stale baseline entries as an error")
+		writeBaseline  = fs.String("write-baseline", "", "record current findings to this baseline file and exit")
+		only           = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list           = fs.Bool("list", false, "list analyzers and exit")
+		dir            = fs.String("C", ".", "module directory to analyze")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: misvet [flags] [package pattern ...]\n")
@@ -74,26 +86,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *only != "" {
 		byName := make(map[string]*lint.Analyzer)
+		var valid []string
 		for _, a := range analyzers {
 			byName[a.Name] = a
+			valid = append(valid, a.Name)
 		}
 		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(stderr, "misvet: unknown analyzer %q (try -list)\n", name)
+				fmt.Fprintf(stderr, "misvet: unknown analyzer %q; valid analyzers: %s\n",
+					name, strings.Join(valid, ", "))
+				fs.Usage()
 				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
+	start := time.Now()
 	module, err := lint.LoadModule(*dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "misvet: %v\n", err)
 		return 2
 	}
 	diags, suppressed := lint.Run(module, analyzers)
+	elapsed := time.Since(start).Round(time.Millisecond)
 	diags = filterPatterns(diags, fs.Args())
 
 	if *writeBaseline != "" {
@@ -113,7 +131,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	fresh, absorbed := baseline.Filter(diags)
+	fresh, absorbed, stale := baseline.Filter(diags)
+	for _, d := range stale {
+		fmt.Fprintf(stderr, "misvet: stale baseline entry (fixed? re-record with -write-baseline): %s: %s: %s\n",
+			d.Analyzer, d.File, d.Message)
+	}
 
 	if *jsonOut {
 		out := fresh
@@ -131,11 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if suppressed > 0 || absorbed > 0 {
-		fmt.Fprintf(stderr, "misvet: %d finding(s); %d advisory-suppressed, %d baselined\n",
-			len(fresh), suppressed, absorbed)
-	}
+	fmt.Fprintf(stderr, "misvet: %d finding(s); %d advisory-suppressed, %d baselined, %d stale (%d analyzers in %s)\n",
+		len(fresh), suppressed, absorbed, len(stale), len(analyzers), elapsed)
 	if len(fresh) > 0 {
+		return 1
+	}
+	if *strictBaseline && len(stale) > 0 {
 		return 1
 	}
 	return 0

@@ -14,7 +14,10 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "maprange", "wirekind", "congestbits", "hotalloc"} {
+	for _, name := range []string{
+		"determinism", "maprange", "wirekind", "congestbits",
+		"framecodec", "hotalloc", "idspace", "draworder",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -22,7 +25,8 @@ func TestList(t *testing.T) {
 }
 
 // TestUnknownAnalyzer checks -only rejects names not in the suite before
-// any loading happens.
+// any loading happens, and that the error lists the valid names so the
+// user does not need a second -list invocation.
 func TestUnknownAnalyzer(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-only", "nonesuch"}, &out, &errOut); code != 2 {
@@ -30,6 +34,45 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr: %s", errOut.String())
+	}
+	for _, name := range []string{"valid analyzers:", "idspace", "draworder", "framecodec"} {
+		if !strings.Contains(errOut.String(), name) {
+			t.Errorf("usage error missing %q:\n%s", name, errOut.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "usage: misvet") {
+		t.Errorf("usage not printed:\n%s", errOut.String())
+	}
+}
+
+// TestStaleBaseline checks stale entries warn by default and fail under
+// -strict-baseline. The baseline records a finding no clean run
+// produces, so filtering the real module leaves it stale.
+func TestStaleBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	b := lint.NewBaseline([]lint.Diagnostic{{
+		Analyzer: "determinism", File: "internal/congest/gone.go",
+		Line: 1, Col: 1, Message: "call of time.Now (long since fixed)",
+	}})
+	if err := b.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-baseline", baseline}, &out, &errOut); code != 0 {
+		t.Fatalf("stale entry failed a non-strict run: exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "stale baseline entry") {
+		t.Errorf("stale warning missing: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "../..", "-baseline", baseline, "-strict-baseline"}, &out, &errOut); code != 1 {
+		t.Fatalf("-strict-baseline with a stale entry: exit %d, want 1", code)
 	}
 }
 

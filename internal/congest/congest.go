@@ -50,6 +50,7 @@ import (
 // a plain value (no pointers): messages move from shard outboxes into the
 // round's inbox arena by value copy, with zero heap traffic.
 type Message struct {
+	//idspace:external
 	From int
 	Wire Wire
 }
@@ -73,18 +74,22 @@ type Node interface {
 // neighbors, so sends address engine storage without a translation lookup;
 // under the identity layout both slices alias the same CSR row.
 type Context struct {
-	id        int
-	n         int
+	//idspace:external
+	id int
+	n  int
+	//idspace:external
 	neighbors []int // external neighbor IDs, ascending
-	targets   []int // internal neighbor IDs, aligned with neighbors
-	rng       *rng.RNG
-	round     int
-	halted    bool
-	shard     *shard
-	runner    *Runner
+	//idspace:internal
+	targets []int // internal neighbor IDs, aligned with neighbors
+	rng     *rng.RNG
+	round   int
+	halted  bool
+	shard   *shard
+	runner  *Runner
 }
 
 type addressed struct {
+	//idspace:internal
 	to  int
 	msg Message
 }
@@ -175,6 +180,7 @@ func (c *Context) fail(err error) {
 // nodes within a shard are swept in ID order every bucket stays sorted by
 // sender with per-sender append order preserved.
 //
+//idspace:internal to
 //congest:hotpath
 func (c *Context) enqueue(to int, w Wire) {
 	if c.runner.opts.MessageBitLimit > 0 && int(w.Bits) > c.runner.opts.MessageBitLimit {
@@ -413,11 +419,17 @@ type Runner struct {
 	// and the nbr arrays hold each internal vertex's neighbor row twice:
 	// external IDs ascending (what contexts expose) pairwise-aligned with
 	// internal IDs (what sends address).
-	ig        *graph.Graph
-	perm      []int // external ID -> internal ID; nil = identity
-	ext       []int // internal ID -> external ID; nil = identity
-	nbrOff    []int // internal vertex -> offset into nbrExt/nbrInt
-	nbrExt    []int
+	ig *graph.Graph
+	//idspace:index external
+	//idspace:internal
+	perm []int // external ID -> internal ID; nil = identity
+	//idspace:index internal
+	//idspace:external
+	ext    []int // internal ID -> external ID; nil = identity
+	nbrOff []int // internal vertex -> offset into nbrExt/nbrInt
+	//idspace:external
+	nbrExt []int
+	//idspace:internal
 	nbrInt    []int
 	layoutErr error // deferred to Run: NewRunner cannot return an error
 }
@@ -535,7 +547,8 @@ func (r *Runner) Run() (Result, error) {
 // frontier.go). Only the owning worker touches a shard during a sweep; the
 // coordinator reads and re-partitions it between sweeps (rebalance.go).
 type shard struct {
-	idx       int      // shard index; doubles as this shard's merge-bucket index
+	idx int // shard index; doubles as this shard's merge-bucket index
+	//idspace:internal
 	lo, hi    int      // owned contiguous vertex range [lo, hi)
 	frontier  []uint64 // live bitset over [lo, hi); word 0 starts at (lo>>6)<<6
 	liveCount int      // set bits in frontier (O(1) empty-shard skip)
@@ -619,16 +632,25 @@ type execState struct {
 	// Layout translation (mirrors Runner.ext/perm; nil = identity). The
 	// engine's storage and sweep order are internal, but fault-plan
 	// consults and trace-event vertex fields must speak external IDs.
-	ext  []int
+	//
+	//idspace:index internal
+	//idspace:external
+	ext []int
+	//idspace:index external
+	//idspace:internal
 	perm []int
 }
 
 // extID translates an internal vertex ID to its external (original) ID.
+// This is the one sanctioned internal→external crossing; misvet's idspace
+// analyzer checks every other flow against the declared spaces.
 //
+//idspace:internal v
+//idspace:returns external
 //congest:hotpath
 func (st *execState) extID(v int) int {
 	if st.ext == nil {
-		return v
+		return v //idspace:ok identity layout: internal and external IDs coincide
 	}
 	return st.ext[v]
 }

@@ -52,6 +52,7 @@ type ShardConfig struct {
 	// effective shard count (the fleet's size clamped to the vertex count).
 	Index, NumShards int
 	// Lo, Hi delimit the owned contiguous vertex range [Lo, Hi).
+	//idspace:internal
 	Lo, Hi int
 	// N is the whole graph's vertex count.
 	N int
@@ -74,6 +75,7 @@ type ShardConfig struct {
 // drawn (purely) on the coordinator and shipped to the owning worker.
 // Fate uses the faultsim.VertexState values (1 = down, 2 = gone).
 type VertexFate struct {
+	//idspace:internal
 	V    int32
 	Fate int32
 }
@@ -93,8 +95,14 @@ type RoundInput struct {
 // Packet is one outgoing message from a worker sweep, in (sender ID, send
 // call) order — the exported form of the engine's internal outbox entry.
 type Packet struct {
-	To, From int32
-	Wire     Wire
+	// To addresses the coordinator's internal storage; From is the
+	// sender's external node identity (what neighbors see on the wire).
+	//
+	//idspace:internal
+	To int32
+	//idspace:external
+	From int32
+	Wire Wire
 }
 
 // RoundOutput is one round's worker → coordinator payload.
@@ -109,6 +117,8 @@ type RoundOutput struct {
 	// Halted lists the vertices that halted this round, ascending. It is
 	// always shipped (even untraced) because the coordinator's live count
 	// — and so run termination — depends on it.
+	//
+	//idspace:internal
 	Halted []int32
 	// Draws is the worker's cumulative node-RNG draw count over all its
 	// vertices, for the coordinator's EvRNG accounting.
@@ -475,6 +485,7 @@ func (d *distRun) apply(round int) {
 					}
 				}
 				if !ok || int(p.To) < 0 || int(p.To) >= len(st.inboxLen) || ifrom < sh.lo || ifrom >= sh.hi {
+					//idspace:ok addressing error: the internal To slot is exactly what went wrong
 					sh.err = fmt.Errorf("congest: distributed shard %d returned packet with invalid addressing %d→%d", s, p.From, p.To)
 					break
 				}
@@ -486,6 +497,7 @@ func (d *distRun) apply(round int) {
 			v := int(v32)
 			if v < sh.lo || v >= sh.hi {
 				if sh.err == nil {
+					//idspace:ok addressing error: the internal halt slot is exactly what went wrong
 					sh.err = fmt.Errorf("congest: distributed shard %d reported halt of foreign vertex %d", s, v)
 				}
 				continue
@@ -620,11 +632,13 @@ func outputDigest(out RoundOutput) uint64 {
 // coordinator, which is what keeps socket transport outside the
 // determinism surface.
 type ShardWorker struct {
-	cfg    ShardConfig
-	r      *Runner // options/traced carcass for Context plumbing; never Run
-	sh     *shard
-	ctxs   []Context
-	nodes  []Node
+	cfg   ShardConfig
+	r     *Runner // options/traced carcass for Context plumbing; never Run
+	sh    *shard
+	ctxs  []Context
+	nodes []Node
+	//idspace:index internal
+	//idspace:external
 	ext    []int   // internal -> external ID map; nil = identity layout
 	round  int     // next expected round
 	fate   []uint8 // per-vertex fate scratch for the current round
@@ -635,9 +649,12 @@ type ShardWorker struct {
 
 // extID translates one of this shard's internal vertex IDs to its
 // external (original) ID.
+//
+//idspace:internal v
+//idspace:returns external
 func (w *ShardWorker) extID(v int) int {
 	if w.ext == nil {
-		return v
+		return v //idspace:ok identity layout: internal and external IDs coincide
 	}
 	return w.ext[v]
 }
@@ -650,6 +667,7 @@ func (w *ShardWorker) extID(v int) int {
 // machine the coordinator's mirror uses. Every node must implement Porter.
 func NewShardWorker(cfg ShardConfig, neighbors func(v int) []int, ext []int, factory func(v int) Node) (*ShardWorker, error) {
 	if cfg.Lo < 0 || cfg.Hi < cfg.Lo || cfg.Hi > cfg.N {
+		//idspace:ok the shard range is an internal-order concept; the error describes it as such
 		return nil, fmt.Errorf("congest: shard range [%d, %d) invalid for n=%d", cfg.Lo, cfg.Hi, cfg.N)
 	}
 	if ext != nil && len(ext) != cfg.N {
@@ -713,6 +731,14 @@ func (w *ShardWorker) Live() int { return w.sh.liveCount }
 // protocol violation (malformed input, out-of-sequence round) and is
 // fatal for the connection; a model violation by a node travels in
 // RoundOutput.Err instead, like the in-process shard error.
+//
+// Sweep runs in a worker process: engine-side randomness (the fault
+// stream) must never be drawn here — misvet's draworder analyzer walks
+// everything reachable from this root. Node algorithms drawing from
+// their own per-vertex Split streams sit behind the Node interface,
+// the sanctioned dynamic seam.
+//
+//draworder:worker
 func (w *ShardWorker) Sweep(in RoundInput) (RoundOutput, error) {
 	if in.Round != w.round {
 		return RoundOutput{}, fmt.Errorf("congest: shard %d expected round %d, got %d", w.cfg.Index, w.round, in.Round)
@@ -724,6 +750,7 @@ func (w *ShardWorker) Sweep(in RoundInput) (RoundOutput, error) {
 	total := 0
 	for i, l := range in.InboxLens {
 		if l < 0 {
+			//idspace:ok protocol error about internal storage addressing; internal ID is the useful one
 			return RoundOutput{}, fmt.Errorf("congest: shard %d got negative inbox length for vertex %d", w.cfg.Index, w.cfg.Lo+i)
 		}
 		w.off[i] = total
@@ -734,6 +761,7 @@ func (w *ShardWorker) Sweep(in RoundInput) (RoundOutput, error) {
 	}
 	for _, f := range in.Fates {
 		if int(f.V) < w.cfg.Lo || int(f.V) >= w.cfg.Hi {
+			//idspace:ok protocol error about internal storage addressing; internal ID is the useful one
 			return RoundOutput{}, fmt.Errorf("congest: shard %d got fate for foreign vertex %d", w.cfg.Index, f.V)
 		}
 		w.fate[int(f.V)-w.cfg.Lo] = uint8(f.Fate)

@@ -204,7 +204,11 @@ func (st *execState) noteFlow(srcShard int32, to int) {
 }
 
 // emitFlow publishes the round's non-zero shard-flow counts in ascending
-// (src, dst) order and resets the matrix.
+// (src, dst) order and resets the matrix. It only runs when flow tracing
+// is enabled (st.flow is nil otherwise), so its collect-and-sort
+// allocations never touch the untraced steady state.
+//
+//congest:coldpath
 func (st *execState) emitFlow(round int) {
 	if len(st.flow) == 0 {
 		return

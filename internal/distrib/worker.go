@@ -98,6 +98,12 @@ func serveMetrics(addr string, reg *trace.Registry) (string, error) {
 // metrics endpoint, when requested, is bound once per connection and its
 // address re-announced in each run's hello. The frame codec's decode
 // buffers are likewise per-connection and reused across frames.
+//
+// ServeConn is a worker-process entry point: the coordinator owns every
+// engine-side RNG stream, so nothing reachable from here may draw —
+// misvet's draworder analyzer enforces that.
+//
+//draworder:worker
 func ServeConn(c net.Conn) error {
 	fc := newFrameConn(c)
 	var enc encoder
@@ -166,6 +172,8 @@ func ServeConn(c net.Conn) error {
 
 // serveRun drives one run's round loop: sweep every fkRound until the
 // fkFinish/outputs exchange ends it.
+//
+//draworder:worker
 func serveRun(fc *frameConn, enc *encoder, sc *decodeScratch, worker *congest.ShardWorker, m *workerMetrics, fail func(error) error) error {
 	for {
 		payload, err := fc.readFrame()

@@ -82,6 +82,9 @@ func Compute(g *graph.Graph, o Ordering) (perm, inv []int, err error) {
 
 // degsortOrder returns the visitation order (internal → original) of the
 // DegSort ordering: degree descending, ties by original ID ascending.
+// The returned slice holds external (original) IDs.
+//
+//idspace:returns external
 func degsortOrder(g *graph.Graph) []int {
 	n := g.N()
 	order := make([]int, n)
@@ -103,7 +106,9 @@ func degsortOrder(g *graph.Graph) []int {
 // each component is rooted at its minimum-degree vertex (ties by lowest
 // ID) and traversed breadth-first, appending unplaced neighbors sorted by
 // (degree ascending, ID ascending). Every step is a deterministic function
-// of the graph.
+// of the graph. The returned slice holds external (original) IDs.
+//
+//idspace:returns external
 func bfsOrder(g *graph.Graph) []int {
 	n := g.N()
 	order := make([]int, 0, n)

@@ -60,11 +60,14 @@ func (b *Baseline) Write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Filter splits diags into findings not covered by the baseline (fresh)
-// and the number it absorbed. A nil baseline absorbs nothing.
-func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+// Filter splits diags into findings not covered by the baseline (fresh),
+// the number it absorbed, and the baseline entries that matched nothing
+// (stale — the violation was fixed but the entry lingers, so burn-down
+// accounting would silently overstate the remaining debt). A nil
+// baseline absorbs nothing and has no stale entries.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int, stale []Diagnostic) {
 	if b == nil {
-		return diags, 0
+		return diags, 0, nil
 	}
 	budget := make(map[string]int, len(b.Findings))
 	for _, d := range b.Findings {
@@ -79,5 +82,13 @@ func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int)
 		}
 		fresh = append(fresh, d)
 	}
-	return fresh, absorbed
+	// Whatever budget survives matching is stale; report the entries in
+	// their recorded order so the output is stable.
+	for _, d := range b.Findings {
+		if key := baselineKey(d); budget[key] > 0 {
+			budget[key]--
+			stale = append(stale, d)
+		}
+	}
+	return fresh, absorbed, stale
 }

@@ -27,9 +27,10 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if len(b.Findings) != 2 || b.Version != 1 {
 		t.Fatalf("round trip: got version %d with %d findings", b.Version, len(b.Findings))
 	}
-	fresh, absorbed := b.Filter(diags)
-	if len(fresh) != 0 || absorbed != 2 {
-		t.Errorf("Filter over own findings: fresh=%d absorbed=%d, want 0/2", len(fresh), absorbed)
+	fresh, absorbed, stale := b.Filter(diags)
+	if len(fresh) != 0 || absorbed != 2 || len(stale) != 0 {
+		t.Errorf("Filter over own findings: fresh=%d absorbed=%d stale=%d, want 0/2/0",
+			len(fresh), absorbed, len(stale))
 	}
 }
 
@@ -37,9 +38,10 @@ func TestBaselineRoundTrip(t *testing.T) {
 // file shifting under it: matching ignores Line and Col.
 func TestBaselineLineInsensitive(t *testing.T) {
 	b := NewBaseline([]Diagnostic{diag("determinism", "a.go", "call of time.Now", 10)})
-	fresh, absorbed := b.Filter([]Diagnostic{diag("determinism", "a.go", "call of time.Now", 99)})
-	if len(fresh) != 0 || absorbed != 1 {
-		t.Errorf("line-shifted finding not absorbed: fresh=%d absorbed=%d", len(fresh), absorbed)
+	fresh, absorbed, stale := b.Filter([]Diagnostic{diag("determinism", "a.go", "call of time.Now", 99)})
+	if len(fresh) != 0 || absorbed != 1 || len(stale) != 0 {
+		t.Errorf("line-shifted finding not absorbed: fresh=%d absorbed=%d stale=%d",
+			len(fresh), absorbed, len(stale))
 	}
 }
 
@@ -48,9 +50,10 @@ func TestBaselineLineInsensitive(t *testing.T) {
 func TestBaselineMultiset(t *testing.T) {
 	d := diag("maprange", "a.go", "range over map", 5)
 	b := NewBaseline([]Diagnostic{d})
-	fresh, absorbed := b.Filter([]Diagnostic{d, d})
-	if len(fresh) != 1 || absorbed != 1 {
-		t.Errorf("multiset budget: fresh=%d absorbed=%d, want 1/1", len(fresh), absorbed)
+	fresh, absorbed, stale := b.Filter([]Diagnostic{d, d})
+	if len(fresh) != 1 || absorbed != 1 || len(stale) != 0 {
+		t.Errorf("multiset budget: fresh=%d absorbed=%d stale=%d, want 1/1/0",
+			len(fresh), absorbed, len(stale))
 	}
 }
 
@@ -58,9 +61,33 @@ func TestBaselineMultiset(t *testing.T) {
 func TestBaselineNil(t *testing.T) {
 	var b *Baseline
 	d := diag("hotalloc", "a.go", "make in a hot-path function", 3)
-	fresh, absorbed := b.Filter([]Diagnostic{d})
-	if len(fresh) != 1 || absorbed != 0 {
-		t.Errorf("nil baseline: fresh=%d absorbed=%d, want 1/0", len(fresh), absorbed)
+	fresh, absorbed, stale := b.Filter([]Diagnostic{d})
+	if len(fresh) != 1 || absorbed != 0 || len(stale) != 0 {
+		t.Errorf("nil baseline: fresh=%d absorbed=%d stale=%d, want 1/0/0",
+			len(fresh), absorbed, len(stale))
+	}
+}
+
+// TestBaselineStale checks that unmatched baseline entries surface as
+// stale, in recorded order, with multiset budgeting: two entries and one
+// matching finding leave exactly one stale entry.
+func TestBaselineStale(t *testing.T) {
+	fixed := diag("determinism", "gone.go", "call of time.Now", 7)
+	kept := diag("maprange", "a.go", "range over map", 5)
+	b := NewBaseline([]Diagnostic{fixed, kept, kept})
+	fresh, absorbed, stale := b.Filter([]Diagnostic{kept})
+	if len(fresh) != 0 || absorbed != 1 {
+		t.Fatalf("fresh=%d absorbed=%d, want 0/1", len(fresh), absorbed)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale=%d, want 2 (the fixed entry and the extra duplicate)", len(stale))
+	}
+	seen := map[string]int{}
+	for _, d := range stale {
+		seen[baselineKey(d)]++
+	}
+	if seen[baselineKey(fixed)] != 1 || seen[baselineKey(kept)] != 1 {
+		t.Errorf("stale entries wrong: %v", stale)
 	}
 }
 

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DraworderAnalyzer proves randomness is consumed coordinator-side. The
+// paper's read-k argument — and this repo's bit-identical fingerprints —
+// hold because every rng.RNG draw happens in one global order: the
+// coordinator draws fault fates in sender order, and per-vertex protocol
+// draws come from streams pre-split per vertex. A draw reached from a
+// worker goroutine or a per-shard context would consume from a shared
+// stream in scheduling order, which no replay could reproduce.
+//
+// The analyzer roots at every worker context in internal/congest and
+// internal/distrib: function literals and functions spawned by `go`
+// statements, plus functions whose doc carries //draworder:worker (the
+// distrib ShardWorker entry points, driven from a remote process rather
+// than a local `go`). From each root it walks the static call graph and
+// reports any reachable call of an rng.RNG drawing method (every method
+// except the pure Split and Draws). Dynamic seams — interface methods
+// such as protocol Node.Round, func values such as the worker factory —
+// are cuts: per-vertex protocol draws behind Node.Round use the vertex's
+// own split stream and are sanctioned. A function whose doc carries
+// //draworder:coordinator is a contract-level cut: the caller asserts it
+// only runs coordinator-side, and the analyzer holds it to nothing
+// further.
+var DraworderAnalyzer = &Analyzer{
+	Name:        "draworder",
+	Doc:         "rng.RNG draws are unreachable from worker goroutines and per-shard contexts",
+	ModuleLevel: true,
+	Run:         runDraworder,
+}
+
+// draworderScopes are the module-relative subtrees whose goroutines count
+// as worker contexts: the engine's drivers and the multi-process fleet.
+var draworderScopes = []string{"internal/congest", "internal/distrib"}
+
+func runDraworder(pass *Pass) {
+	cg := pass.Module.callGraph()
+	d := &drawWalker{pass: pass, cg: cg, visited: make(map[*types.Func]bool)}
+	for _, pkg := range pass.Module.Pkgs {
+		if !d.inScope(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if docHas(fd.Doc, DirWorker) {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						d.walkFunc(fn, fd.Name.Name)
+					}
+					continue
+				}
+				// Functions spawned with `go` root at the go statement.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					root := fd.Name.Name + "'s goroutine"
+					if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+						d.walkBody(pkg, lit.Body, root)
+						return false // walkBody covers nested go statements
+					}
+					if fn := staticCallee(pkg, g.Call); fn != nil {
+						d.walkFunc(fn, root)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+type drawWalker struct {
+	pass    *Pass
+	cg      *callGraph
+	visited map[*types.Func]bool
+}
+
+func (d *drawWalker) inScope(pkg *Package) bool {
+	rel := d.pass.Module.Rel(pkg.Path)
+	for _, s := range draworderScopes {
+		if underScope(rel, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFunc traverses into a declared function reachable from a worker
+// context, unless it is a sanctioned coordinator cut or already visited.
+func (d *drawWalker) walkFunc(fn *types.Func, root string) {
+	site, ok := d.cg.decls[fn]
+	if !ok || d.visited[fn] {
+		return // interface method, out-of-module, or already covered
+	}
+	d.visited[fn] = true
+	if docHas(site.fd.Doc, DirCoordinator) {
+		return
+	}
+	d.walkBody(site.pkg, site.fd.Body, root)
+}
+
+// walkBody scans one body for draw calls and follows static callees.
+// Function literals nested in a worker body run in the worker context and
+// are scanned in place.
+func (d *drawWalker) walkBody(pkg *Package, body *ast.BlockStmt, root string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pkg, call)
+		if fn == nil {
+			return true
+		}
+		if isRNGDraw(fn) {
+			d.pass.Reportf(pkg, call.Pos(),
+				"rng.RNG.%s draw reachable from worker context (%s); randomness must be drawn coordinator-side in global sender order",
+				fn.Name(), root)
+			return true
+		}
+		d.walkFunc(fn, root)
+		return true
+	})
+}
+
+// isRNGDraw reports whether fn is a drawing method of rng.RNG: any
+// method except the pure Split (stream derivation) and Draws (counter
+// read). The type is matched by package-path suffix so fixtures can
+// supply a stand-in rng package.
+func isRNGDraw(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "RNG" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != "rng" && !strings.HasSuffix(path, "internal/rng") {
+		return false
+	}
+	switch fn.Name() {
+	case "Split", "Draws":
+		return false
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FramecodecAnalyzer closes the distrib transport's frame-kind namespace,
+// mirroring what wirekind does for congest.Wire payloads one layer up:
+// the multi-process fleet speaks length-prefixed frames whose first
+// payload byte is a frameKind tag, and a tag mixup desynchronizes the
+// whole protocol rather than one message. For any package declaring a
+// frameKind type the analyzer enforces:
+//
+//   - every frameKind constant has a positive, unique tag (zero stays
+//     detectably invalid);
+//   - every kind is encoded by exactly one encoder.reset(kind) call, and
+//     reset is only ever given a declared kind constant;
+//   - switches over a frameKind value use only declared constants as
+//     labels, and a switch marked //framecodec:exhaustive (the canonical
+//     String registry) enumerates every kind;
+//   - decoded payload sizes respect the CONGEST contract: an assignment
+//     `w.Bits = uint16(v)` to a congest.Wire's Bits field must be
+//     dominated by a constant bound check `if v > K` with K no larger
+//     than congest.MaxWireBits, so a corrupt or malicious frame cannot
+//     smuggle an over-budget bit size past the engine's metering.
+var FramecodecAnalyzer = &Analyzer{
+	Name: "framecodec",
+	Doc:  "the distrib frame-kind namespace is closed and frame bit sizes respect congest.MaxWireBits",
+	Run:  runFramecodec,
+}
+
+func runFramecodec(pass *Pass) {
+	pkg := pass.Pkg
+	kindType := frameKindType(pkg)
+	if kindType == nil {
+		return
+	}
+	kinds := collectFrameKinds(pkg, kindType)
+	byObj := make(map[*types.Const]*kindConst, len(kinds))
+	for i := range kinds {
+		byObj[kinds[i].obj] = &kinds[i]
+	}
+
+	// Tag values: positive and unique within the namespace.
+	bad := make(map[*types.Const]bool)
+	firstByValue := make(map[int64]*kindConst)
+	for i := range kinds {
+		k := &kinds[i]
+		val := constInt(k.obj)
+		if val <= 0 {
+			pass.Reportf(k.pkg, k.pos,
+				"frame kind %s has non-positive tag %d; tags start at 1 so a zeroed frame is detectably corrupt",
+				k.obj.Name(), val)
+			bad[k.obj] = true
+			continue
+		}
+		if prev, ok := firstByValue[val]; ok {
+			pass.Reportf(k.pkg, k.pos,
+				"duplicate frame kind tag %d: %s collides with %s",
+				val, k.obj.Name(), prev.obj.Name())
+			bad[k.obj] = true
+			continue
+		}
+		firstByValue[val] = k
+	}
+
+	resets := make(map[*types.Const]int)
+	for _, file := range pkg.Files {
+		scanFrameResets(pass, pkg, file, kindType, byObj, resets)
+		scanFrameSwitches(pass, pkg, file, kindType, kinds, byObj, bad)
+		scanBitsBounds(pass, pkg, file)
+	}
+	for i := range kinds {
+		k := &kinds[i]
+		if bad[k.obj] {
+			continue
+		}
+		switch resets[k.obj] {
+		case 0:
+			pass.Reportf(k.pkg, k.pos,
+				"frame kind %s is never encoded: no encoder.reset(%s) call", k.obj.Name(), k.obj.Name())
+		case 1:
+		default:
+			pass.Reportf(k.pkg, k.pos,
+				"frame kind %s is encoded by %d reset calls; frame payloads and kinds must map one-to-one",
+				k.obj.Name(), resets[k.obj])
+		}
+	}
+}
+
+// frameKindType returns the package's defined frameKind type, if it
+// declares one with an integer underlying type.
+func frameKindType(pkg *Package) *types.Named {
+	if pkg.Types == nil {
+		return nil
+	}
+	tn, ok := pkg.Types.Scope().Lookup("frameKind").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// collectFrameKinds gathers the package's frameKind constants in
+// declaration-position order.
+func collectFrameKinds(pkg *Package, kindType *types.Named) []kindConst {
+	var kinds []kindConst
+	for ident, obj := range pkg.Info.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || c.Type() != kindType {
+			continue
+		}
+		kinds = append(kinds, kindConst{obj: c, pkg: pkg, pos: ident.Pos()})
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].pos < kinds[j].pos })
+	return kinds
+}
+
+// scanFrameResets audits every encoder reset call: the kind argument
+// must be a declared constant, and the per-kind counts feed the
+// one-encoder-per-kind check.
+func scanFrameResets(pass *Pass, pkg *Package, file *ast.File, kindType *types.Named, byObj map[*types.Const]*kindConst, resets map[*types.Const]int) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "reset" {
+			return true
+		}
+		if pkg.Info.TypeOf(call.Args[0]) != kindType {
+			return true
+		}
+		c := resolveConst(pkg, call.Args[0])
+		if c == nil || byObj[c] == nil {
+			pass.Reportf(pkg, call.Args[0].Pos(),
+				"encoder reset with %s, which is not a declared frame kind constant; the encoded kind cannot be audited",
+				exprString(call.Args[0]))
+			return true
+		}
+		resets[c]++
+		return true
+	})
+}
+
+// scanFrameSwitches validates switches over a frameKind value: labels
+// must be declared kinds, and //framecodec:exhaustive switches must
+// enumerate every kind not already reported as bad.
+func scanFrameSwitches(pass *Pass, pkg *Package, file *ast.File, kindType *types.Named, kinds []kindConst, byObj map[*types.Const]*kindConst, bad map[*types.Const]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil || pkg.Info.TypeOf(sw.Tag) != kindType {
+			return true
+		}
+		present := make(map[*types.Const]bool)
+		for _, clause := range sw.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range cc.List {
+				c := resolveConst(pkg, expr)
+				if c == nil || byObj[c] == nil {
+					pass.Reportf(pkg, expr.Pos(),
+						"frame-kind switch case %s is not a declared frame kind constant", exprString(expr))
+					continue
+				}
+				present[c] = true
+			}
+		}
+		if pkg.markedAt(pass.Module, sw.Pos(), DirFrameExhaustive) {
+			var missing []string
+			for i := range kinds {
+				if !present[kinds[i].obj] && !bad[kinds[i].obj] {
+					missing = append(missing, kinds[i].obj.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(pkg, sw.Pos(),
+					"frame-kind switch marked %s is missing %s", DirFrameExhaustive, strings.Join(missing, ", "))
+			}
+		}
+		return true
+	})
+}
+
+// scanBitsBounds audits Wire.Bits assignments in the frame codec: a
+// decoded bit size must pass a constant bound check no looser than
+// congest.MaxWireBits before it is stored.
+func scanBitsBounds(pass *Pass, pkg *Package, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.SelectorExpr)
+		if !ok || lhs.Sel.Name != "Bits" || !isCongestWire(pkg.Info.TypeOf(lhs.X)) {
+			return true
+		}
+		bound := maxWireBits(pkg.Info.TypeOf(lhs.X))
+		src := bitsSourceVar(pkg, as.Rhs[0])
+		if src == nil {
+			// A constant RHS is auditable directly; anything else is not.
+			if tv, ok := pkg.Info.Types[as.Rhs[0]]; ok && tv.Value != nil {
+				if v := constTVInt(tv); v > bound {
+					pass.Reportf(pkg, as.Rhs[0].Pos(),
+						"Wire.Bits set to constant %d, exceeding the congest.MaxWireBits = %d budget", v, bound)
+				}
+				return true
+			}
+			pass.Reportf(pkg, as.Rhs[0].Pos(),
+				"Wire.Bits assigned from an expression the analyzer cannot bound; assign uint16(v) with v checked against congest.MaxWireBits first")
+			return true
+		}
+		guard, guardPos := bitsGuardBound(pkg, as, src)
+		switch {
+		case guardPos == token.NoPos:
+			pass.Reportf(pkg, as.Pos(),
+				"Wire.Bits = uint16(%s) without a preceding `if %s > K` bound check; a corrupt frame length defeats the CONGEST metering",
+				src.Name(), src.Name())
+		case guard > bound:
+			pass.Reportf(pkg, guardPos,
+				"frame bit-size bound %d is looser than congest.MaxWireBits = %d; the decoder must agree with the engine's budget",
+				guard, bound)
+		}
+		return true
+	})
+}
+
+// bitsSourceVar unwraps `uint16(v)` to the variable v, or nil when the
+// RHS has another shape.
+func bitsSourceVar(pkg *Package, expr ast.Expr) *types.Var {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; !ok || !tv.IsType() {
+		return nil
+	}
+	ident, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[ident].(*types.Var)
+	return v
+}
+
+// bitsGuardBound finds the nearest `if src > K` (or `K < src`) constant
+// bound check preceding the assignment in its enclosing function and
+// returns K. A guard is only credited when it precedes the store.
+func bitsGuardBound(pkg *Package, assign *ast.AssignStmt, src *types.Var) (bound int64, pos token.Pos) {
+	fd := pkg.enclosingFunc(assign.Pos())
+	if fd == nil {
+		return 0, token.NoPos
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() >= assign.Pos() {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var varSide, constSide ast.Expr
+		switch cond.Op {
+		case token.GTR: // src > K
+			varSide, constSide = cond.X, cond.Y
+		case token.LSS: // K < src
+			varSide, constSide = cond.Y, cond.X
+		default:
+			return true
+		}
+		ident, ok := ast.Unparen(varSide).(*ast.Ident)
+		if !ok || pkg.Info.Uses[ident] != src {
+			return true
+		}
+		tv, ok := pkg.Info.Types[constSide]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		bound, pos = constTVInt(tv), constSide.Pos()
+		return true
+	})
+	return bound, pos
+}

@@ -1,0 +1,778 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IdspaceAnalyzer is a taint analysis over the two vertex-ID spaces the
+// layout subsystem introduced: internal (permuted, cache-conscious
+// storage order) and external (the caller's original labels, the only
+// ones that may appear on user-visible surfaces). The runtime keeps the
+// two apart with one sanctioned translation — extID, backed by the ext
+// table — and the cross-driver fingerprint tests catch a mixup only when
+// a non-identity layout happens to be exercised on the leaking path;
+// this analyzer proves the separation per call site instead.
+//
+// Declarations opt in with directives (see directives.go): struct fields
+// and parameters are annotated //idspace:internal or //idspace:external,
+// translation tables additionally declare which space may index them
+// (//idspace:index external), and translators declare their result space
+// (//idspace:returns external). The analyzer then walks every function
+// body with a flow-sensitive environment mapping locals to spaces and
+// reports where a known-space value reaches a surface declared for the
+// other space:
+//
+//   - assignments and composite literals writing an annotated field
+//     (trace.Event's V/W are external; a raw loop index is not),
+//   - arguments to annotated parameters (faultsim.Plan consults take
+//     external IDs; enqueue takes internal slots),
+//   - error strings — fmt.Errorf / fmt.Sprintf / errors.New arguments
+//     must never be internal IDs,
+//   - indexing an annotated table with the wrong space's ID,
+//   - returning the wrong space from a declared translator.
+//
+// The lattice is deliberately lossy toward "unknown": arithmetic mixing
+// a known ID with an offset keeps the space, but subtracting two IDs of
+// the same space yields a width (unknown), and control-flow joins where
+// branches disagree yield unknown. Unknown passes everywhere — the
+// analyzer under-reports rather than guessing. The residual escape is
+// //idspace:ok on the flagged line, for flows like the identity layout's
+// `return v` where internal and external provably coincide; like
+// advisory escapes, these are counted in misvet's summary.
+var IdspaceAnalyzer = &Analyzer{
+	Name:        "idspace",
+	Doc:         "internal (permuted) vertex IDs never cross to external surfaces without extID, and vice versa",
+	ModuleLevel: true,
+	Run:         runIdspace,
+}
+
+// idSpace is the taint lattice: unknown passes every check.
+type idSpace uint8
+
+const (
+	spaceUnknown idSpace = iota
+	spaceInternal
+	spaceExternal
+)
+
+func (s idSpace) String() string {
+	switch s {
+	case spaceInternal:
+		return "internal"
+	case spaceExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// parseSpace resolves a directive argument to a space.
+func parseSpace(arg string) idSpace {
+	switch arg {
+	case "internal":
+		return spaceInternal
+	case "external":
+		return spaceExternal
+	}
+	return spaceUnknown
+}
+
+// idspaceTables is the module-wide annotation index.
+type idspaceTables struct {
+	// fieldElem maps an annotated struct field to the space of its values
+	// (a slice field's elements).
+	fieldElem map[*types.Var]idSpace
+	// fieldIndex maps an annotated slice/array field to the space allowed
+	// to index it.
+	fieldIndex map[*types.Var]idSpace
+	// params maps a function (or interface method) to per-parameter
+	// declared spaces, positionally; spaceUnknown means unannotated.
+	params map[*types.Func][]idSpace
+	// results maps a function to its declared single-result space.
+	results map[*types.Func]idSpace
+}
+
+// fieldSpaces reads the idspace directives attached to a struct field's
+// doc or trailing comment.
+func fieldSpaces(field *ast.Field) (elem, index idSpace) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if _, ok := directiveArgs(c.Text, DirIdspaceInternal); ok {
+				elem = spaceInternal
+			}
+			if _, ok := directiveArgs(c.Text, DirIdspaceExternal); ok {
+				elem = spaceExternal
+			}
+			if args, ok := directiveArgs(c.Text, DirIdspaceIndex); ok && len(args) > 0 {
+				index = parseSpace(args[0])
+			}
+		}
+	}
+	return elem, index
+}
+
+// funcSpaces reads a function doc's idspace directives: named-parameter
+// spaces and the declared result space.
+func funcSpaces(doc *ast.CommentGroup, ft *ast.FuncType) (params []idSpace, result idSpace) {
+	if doc == nil {
+		return nil, spaceUnknown
+	}
+	byName := make(map[string]idSpace)
+	for _, c := range doc.List {
+		if args, ok := directiveArgs(c.Text, DirIdspaceInternal); ok {
+			for _, name := range args {
+				byName[name] = spaceInternal
+			}
+		}
+		if args, ok := directiveArgs(c.Text, DirIdspaceExternal); ok {
+			for _, name := range args {
+				byName[name] = spaceExternal
+			}
+		}
+		if args, ok := directiveArgs(c.Text, DirIdspaceReturns); ok && len(args) > 0 {
+			result = parseSpace(args[0])
+		}
+	}
+	if len(byName) == 0 {
+		return nil, result
+	}
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			params = append(params, spaceUnknown)
+			continue
+		}
+		for _, name := range field.Names {
+			params = append(params, byName[name.Name])
+		}
+	}
+	return params, result
+}
+
+// buildIdspaceTables scans every package for annotated struct fields,
+// interface methods, and function declarations.
+func buildIdspaceTables(m *Module) *idspaceTables {
+	tabs := &idspaceTables{
+		fieldElem:  make(map[*types.Var]idSpace),
+		fieldIndex: make(map[*types.Var]idSpace),
+		params:     make(map[*types.Func][]idSpace),
+		results:    make(map[*types.Func]idSpace),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						elem, index := fieldSpaces(field)
+						if elem == spaceUnknown && index == spaceUnknown {
+							continue
+						}
+						for _, name := range field.Names {
+							fv, ok := pkg.Info.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							if elem != spaceUnknown {
+								tabs.fieldElem[fv] = elem
+							}
+							if index != spaceUnknown {
+								tabs.fieldIndex[fv] = index
+							}
+						}
+					}
+				case *ast.InterfaceType:
+					for _, method := range n.Methods.List {
+						ft, ok := method.Type.(*ast.FuncType)
+						if !ok || len(method.Names) != 1 {
+							continue
+						}
+						fn, ok := pkg.Info.Defs[method.Names[0]].(*types.Func)
+						if !ok {
+							continue
+						}
+						recordFuncSpaces(tabs, fn, method.Doc, ft)
+					}
+				case *ast.FuncDecl:
+					if fn, ok := pkg.Info.Defs[n.Name].(*types.Func); ok {
+						recordFuncSpaces(tabs, fn, n.Doc, n.Type)
+					}
+					return false // bodies are walked by the checker, not here
+				}
+				return true
+			})
+		}
+	}
+	return tabs
+}
+
+func recordFuncSpaces(tabs *idspaceTables, fn *types.Func, doc *ast.CommentGroup, ft *ast.FuncType) {
+	params, result := funcSpaces(doc, ft)
+	if params != nil {
+		tabs.params[fn] = params
+	}
+	if result != spaceUnknown {
+		tabs.results[fn] = result
+	}
+}
+
+func runIdspace(pass *Pass) {
+	tabs := buildIdspaceTables(pass.Module)
+	if len(tabs.fieldElem) == 0 && len(tabs.params) == 0 &&
+		len(tabs.results) == 0 && len(tabs.fieldIndex) == 0 {
+		return
+	}
+	for _, pkg := range pass.Module.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w := &idWalker{pass: pass, tabs: tabs, pkg: pkg, fn: fn,
+					env: make(map[types.Object]idSpace)}
+				w.bindParams(fd.Type, tabs.params[fn])
+				w.stmts(fd.Body.List)
+			}
+		}
+	}
+}
+
+// idWalker checks one function body with a flow-sensitive environment.
+type idWalker struct {
+	pass *Pass
+	tabs *idspaceTables
+	pkg  *Package
+	fn   *types.Func // enclosing declared function; nil inside func literals
+	env  map[types.Object]idSpace
+}
+
+// report emits a finding unless an //idspace:ok escape covers the line.
+func (w *idWalker) report(pos token.Pos, format string, args ...any) {
+	if w.pkg.markedAt(w.pass.Module, pos, DirIdspaceOK) {
+		*w.pass.suppressed++
+		return
+	}
+	w.pass.Reportf(w.pkg, pos, format, args...)
+}
+
+// bindParams seeds the environment from declared parameter spaces.
+func (w *idWalker) bindParams(ft *ast.FuncType, spaces []idSpace) {
+	if spaces == nil {
+		return
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i >= len(spaces) {
+				return
+			}
+			if obj := w.pkg.Info.Defs[name]; obj != nil {
+				w.env[obj] = spaces[i]
+			}
+			i++
+		}
+	}
+}
+
+func copyEnv(env map[types.Object]idSpace) map[types.Object]idSpace {
+	out := make(map[types.Object]idSpace, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// branch runs fn on a copy of the environment and returns the copy.
+func (w *idWalker) branch(fn func()) map[types.Object]idSpace {
+	saved := w.env
+	w.env = copyEnv(saved)
+	fn()
+	out := w.env
+	w.env = saved
+	return out
+}
+
+// joinInto folds a branch environment back in: bindings the branch may
+// have changed become unknown unless they agree.
+func (w *idWalker) joinInto(branch map[types.Object]idSpace) {
+	for obj, space := range w.env {
+		if branch[obj] != space {
+			w.env[obj] = spaceUnknown
+		}
+	}
+}
+
+// joinBoth replaces the environment with the join of two exclusive
+// branches (if/else): bindings agreeing across both are kept — even when
+// they differ from the pre-branch value — everything else goes unknown.
+func (w *idWalker) joinBoth(a, b map[types.Object]idSpace) {
+	for obj := range w.env {
+		if a[obj] == b[obj] {
+			w.env[obj] = a[obj]
+		} else {
+			w.env[obj] = spaceUnknown
+		}
+	}
+}
+
+func (w *idWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *idWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.expr(v)
+			}
+			if len(vs.Values) == len(vs.Names) {
+				for i, name := range vs.Names {
+					if obj := w.pkg.Info.Defs[name]; obj != nil {
+						w.env[obj] = w.spaceOf(vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X) // ID ± 1 stays in its space; the binding is unchanged
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.expr(res)
+		}
+		if w.fn != nil && len(s.Results) == 1 {
+			if declared, ok := w.tabs.results[w.fn]; ok {
+				if got := w.spaceOf(s.Results[0]); got != spaceUnknown && got != declared {
+					w.report(s.Results[0].Pos(),
+						"returning an %s-space ID from %s, declared %s %s",
+						got, w.fn.Name(), DirIdspaceReturns, declared)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		body := w.branch(func() { w.stmts(s.Body.List) })
+		if s.Else == nil {
+			w.joinInto(body)
+			return
+		}
+		els := w.branch(func() { w.stmt(s.Else) })
+		w.joinBoth(body, els)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.joinInto(w.branch(func() {
+			w.stmts(s.Body.List)
+			if s.Post != nil {
+				w.stmt(s.Post)
+			}
+		}))
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.joinInto(w.branch(func() {
+			w.bindRange(s)
+			w.stmts(s.Body.List)
+		}))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			w.joinInto(w.branch(func() {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			}))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	}
+}
+
+// caseBodies runs every switch clause as an exclusive branch.
+func (w *idWalker) caseBodies(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e)
+		}
+		w.joinInto(w.branch(func() { w.stmts(cc.Body) }))
+	}
+}
+
+// bindRange seeds the key/value bindings of a range statement: ranging
+// over an annotated table gives the key its index space and the value
+// its element space.
+func (w *idWalker) bindRange(s *ast.RangeStmt) {
+	if s.Tok != token.DEFINE {
+		return
+	}
+	elem, index := w.containerSpaces(s.X)
+	bind := func(e ast.Expr, space idSpace) {
+		if ident, ok := e.(*ast.Ident); ok && ident.Name != "_" {
+			if obj := w.pkg.Info.Defs[ident]; obj != nil {
+				w.env[obj] = space
+			}
+		}
+	}
+	if s.Key != nil {
+		bind(s.Key, index)
+	}
+	if s.Value != nil {
+		bind(s.Value, elem)
+	}
+}
+
+// containerSpaces resolves the element and index spaces of a ranged or
+// indexed container expression.
+func (w *idWalker) containerSpaces(e ast.Expr) (elem, index idSpace) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if fv := w.fieldOf(e); fv != nil {
+			return w.tabs.fieldElem[fv], w.tabs.fieldIndex[fv]
+		}
+	case *ast.Ident:
+		if obj := objectOf(w.pkg, e); obj != nil {
+			return w.env[obj], spaceUnknown
+		}
+	}
+	return spaceUnknown, spaceUnknown
+}
+
+// fieldOf resolves a selector to the struct field it reads, if any.
+func (w *idWalker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := w.pkg.Info.Selections[sel]; ok {
+		if fv, ok := s.Obj().(*types.Var); ok && fv.IsField() {
+			return fv
+		}
+	}
+	return nil
+}
+
+// objectOf resolves an identifier through Uses or Defs.
+func objectOf(pkg *Package, ident *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[ident]
+}
+
+// assign updates bindings and checks annotated-field sinks.
+func (w *idWalker) assign(s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		w.expr(rhs)
+	}
+	for _, lhs := range s.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			w.expr(lhs) // index-space checks on lhs like st.perm[v] = x
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		// x, y := f(): multi-result spaces are undeclared; invalidate.
+		for _, lhs := range s.Lhs {
+			if ident, ok := lhs.(*ast.Ident); ok && ident.Name != "_" {
+				if obj := objectOf(w.pkg, ident); obj != nil {
+					w.env[obj] = spaceUnknown
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		rhsSpace := w.spaceOf(s.Rhs[i])
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			continue // x += off keeps x's space; the binding is unchanged
+		}
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			if obj := objectOf(w.pkg, lhs); obj != nil {
+				w.env[obj] = rhsSpace
+			}
+		default:
+			w.checkStore(lhs, rhsSpace, s.Rhs[i].Pos())
+		}
+	}
+}
+
+// checkStore reports a known-space value stored into a location declared
+// for the other space: an annotated field, or an element of an annotated
+// table.
+func (w *idWalker) checkStore(lhs ast.Expr, rhsSpace idSpace, pos token.Pos) {
+	if rhsSpace == spaceUnknown {
+		return
+	}
+	var declared idSpace
+	var what string
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if fv := w.fieldOf(lhs); fv != nil {
+			declared, what = w.tabs.fieldElem[fv], "field "+fv.Name()
+		}
+	case *ast.IndexExpr:
+		elem, _ := w.containerSpaces(lhs.X)
+		declared, what = elem, "an element of "+exprString(lhs.X)
+	}
+	if declared != spaceUnknown && declared != rhsSpace {
+		w.report(pos, "%s-space ID stored into %s, declared //idspace:%s%s",
+			rhsSpace, what, declared, translateHint(rhsSpace))
+	}
+}
+
+// translateHint names the sanctioned fix for the common direction.
+func translateHint(got idSpace) string {
+	if got == spaceInternal {
+		return " (translate with the extID mapping first)"
+	}
+	return ""
+}
+
+// expr recursively scans an expression for sinks.
+func (w *idWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.IndexExpr:
+		w.indexCheck(e)
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.SliceExpr:
+		w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	case *ast.CompositeLit:
+		w.composite(e)
+	case *ast.FuncLit:
+		// A literal's body runs with the captured bindings; check it with
+		// a copy so its writes stay local, and without a declared result.
+		savedFn := w.fn
+		w.fn = nil
+		w.joinInto(w.branch(func() { w.stmts(e.Body.List) }))
+		w.fn = savedFn
+	}
+}
+
+// call checks annotated-parameter and error-string sinks, then recurses.
+func (w *idWalker) call(c *ast.CallExpr) {
+	fn := staticCallee(w.pkg, c)
+	if fn != nil {
+		if isErrStringFunc(fn) {
+			for _, arg := range c.Args {
+				if w.spaceOf(arg) == spaceInternal {
+					w.report(arg.Pos(),
+						"internal (permuted) vertex ID reaches an error string via %s.%s (translate with the extID mapping first)",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+		}
+		if spaces := w.tabs.params[fn]; spaces != nil {
+			for i, arg := range c.Args {
+				if i >= len(spaces) || spaces[i] == spaceUnknown {
+					continue
+				}
+				if got := w.spaceOf(arg); got != spaceUnknown && got != spaces[i] {
+					w.report(arg.Pos(),
+						"%s-space ID passed to parameter declared //idspace:%s of %s%s",
+						got, spaces[i], fn.Name(), translateHint(got))
+				}
+			}
+		}
+	}
+	w.expr(c.Fun)
+	for _, arg := range c.Args {
+		w.expr(arg)
+	}
+}
+
+// isErrStringFunc reports whether fn formats values into user-visible
+// strings: fmt.Errorf, fmt.Sprintf, errors.New.
+func isErrStringFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return fn.Name() == "Errorf" || fn.Name() == "Sprintf"
+	case "errors":
+		return fn.Name() == "New"
+	}
+	return false
+}
+
+// indexCheck reports indexing an annotated table with the wrong space.
+func (w *idWalker) indexCheck(e *ast.IndexExpr) {
+	sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fv := w.fieldOf(sel)
+	if fv == nil {
+		return
+	}
+	declared := w.tabs.fieldIndex[fv]
+	if declared == spaceUnknown {
+		return
+	}
+	if got := w.spaceOf(e.Index); got != spaceUnknown && got != declared {
+		w.report(e.Index.Pos(),
+			"%s-space ID indexes %s, declared //idspace:index %s",
+			got, fv.Name(), declared)
+	}
+}
+
+// composite checks annotated fields in struct literals, keyed or
+// positional.
+func (w *idWalker) composite(lit *ast.CompositeLit) {
+	tv := w.pkg.Info.TypeOf(lit)
+	var st *types.Struct
+	if tv != nil {
+		if s, ok := tv.Underlying().(*types.Struct); ok {
+			st = s
+		}
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			w.expr(kv.Value)
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if fv, ok := w.pkg.Info.Uses[key].(*types.Var); ok && fv.IsField() {
+				w.checkFieldInit(fv, kv.Value)
+			}
+			continue
+		}
+		w.expr(elt)
+		if st != nil && i < st.NumFields() {
+			w.checkFieldInit(st.Field(i), elt)
+		}
+	}
+}
+
+func (w *idWalker) checkFieldInit(fv *types.Var, value ast.Expr) {
+	declared := w.tabs.fieldElem[fv]
+	if declared == spaceUnknown {
+		return
+	}
+	if got := w.spaceOf(value); got != spaceUnknown && got != declared {
+		w.report(value.Pos(), "%s-space ID stored into field %s, declared //idspace:%s%s",
+			got, fv.Name(), declared, translateHint(got))
+	}
+}
+
+// spaceOf evaluates an expression's ID space. Pure — no reports.
+func (w *idWalker) spaceOf(e ast.Expr) idSpace {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := objectOf(w.pkg, e); obj != nil {
+			return w.env[obj]
+		}
+	case *ast.SelectorExpr:
+		if fv := w.fieldOf(e); fv != nil {
+			return w.tabs.fieldElem[fv]
+		}
+	case *ast.IndexExpr:
+		elem, _ := w.containerSpaces(e.X)
+		return elem
+	case *ast.CallExpr:
+		if tv, ok := w.pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return w.spaceOf(e.Args[0]) // int32(v) and friends keep the space
+		}
+		if fn := staticCallee(w.pkg, e); fn != nil {
+			return w.tabs.results[fn]
+		}
+	case *ast.BinaryExpr:
+		a, b := w.spaceOf(e.X), w.spaceOf(e.Y)
+		switch e.Op {
+		case token.ADD:
+			// ID + offset stays an ID; ID + ID is meaningless (unknown).
+			if a != spaceUnknown && b == spaceUnknown {
+				return a
+			}
+			if b != spaceUnknown && a == spaceUnknown {
+				return b
+			}
+		case token.SUB:
+			// ID - offset stays an ID; ID - ID is a width, not an ID.
+			if a != spaceUnknown && b == spaceUnknown {
+				return a
+			}
+		}
+	}
+	return spaceUnknown
+}

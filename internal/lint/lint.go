@@ -4,7 +4,8 @@
 // only with runtime tests (cross-driver matrices, pinned trace
 // fingerprints, AllocsPerRun gates).
 //
-// The suite ships five analyzers:
+// The suite ships eight analyzers. Five are syntactic, per-construct
+// checks:
 //
 //   - determinism: no wall-clock reads, math/rand, sync/atomic operations,
 //     or goroutine spawns inside deterministic packages;
@@ -16,9 +17,25 @@
 //   - congestbits: every Wire() encoder declares a constant bit size that
 //     agrees with the payload's Bits() method and stays within the
 //     congest.MaxWireBits CONGEST budget;
-//   - hotalloc: functions annotated //congest:hotpath contain no
-//     allocating constructs (closures, make/new, heap-escaping composite
-//     literals, appends to fresh slices, interface conversions).
+//   - framecodec: the distrib transport's frame-kind namespace is closed
+//     the same way, and decoded frame bit sizes are bounds-checked
+//     against congest.MaxWireBits.
+//
+// Three are interprocedural, built on a shared call-graph core
+// (callgraph.go):
+//
+//   - hotalloc: functions annotated //congest:hotpath — and the
+//     statically-resolved callees they reach, to a bounded depth —
+//     contain no allocating constructs (closures, make/new, heap-escaping
+//     composite literals, appends to fresh slices, interface
+//     conversions);
+//   - idspace: a flow-sensitive taint analysis proving internal
+//     (permuted) vertex IDs never reach external surfaces (trace events,
+//     error strings, fault consults) without the extID translation, and
+//     external IDs never index internal-order tables;
+//   - draworder: rng.RNG draws are unreachable from worker goroutines
+//     and per-shard contexts, so randomness is always consumed
+//     coordinator-side in global sender order.
 //
 // Escape hatches are comment directives (see directives.go): a finding on
 // a line marked //lint:advisory — or inside a function whose doc comment
@@ -116,7 +133,10 @@ func Suite() []*Analyzer {
 		MaprangeAnalyzer,
 		WirekindAnalyzer,
 		CongestbitsAnalyzer,
+		FramecodecAnalyzer,
 		HotallocAnalyzer,
+		IdspaceAnalyzer,
+		DraworderAnalyzer,
 	}
 }
 

@@ -50,6 +50,7 @@ type Module struct {
 	loading map[string]bool   // import-cycle guard
 	imp     types.Importer    // export-data importer for out-of-module deps
 	typeErr []error
+	cg      *callGraph // lazily-built declaration index (callgraph.go)
 }
 
 // Rel returns pkgPath relative to the module path ("" for the root

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScopeExhaustive pins scope.go's lists to the real module tree:
+// every package directory under internal/ must be claimed by the
+// deterministic or exempt scope list, so a new subsystem cannot land
+// silently outside the determinism contract; and every listed scope
+// must still exist on disk, so a renamed package cannot leave a stale
+// entry matching nothing.
+func TestScopeExhaustive(t *testing.T) {
+	claimed := func(rel string) bool {
+		for _, s := range exemptScopes {
+			if underScope(rel, s) {
+				return true
+			}
+		}
+		for _, s := range deterministicScopes {
+			if underScope(rel, s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	entries, err := os.ReadDir("../../internal")
+	if err != nil {
+		t.Fatalf("reading internal/: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rel := "internal/" + e.Name()
+		if !claimed(rel) {
+			t.Errorf("%s is in neither deterministicScopes nor exemptScopes; classify it in scope.go", rel)
+		}
+	}
+
+	for _, s := range append(append([]string(nil), deterministicScopes...), exemptScopes...) {
+		info, err := os.Stat(filepath.Join("../..", s))
+		if err != nil || !info.IsDir() {
+			t.Errorf("scope entry %q does not name a directory in the module; remove or fix it in scope.go", s)
+		}
+	}
+}

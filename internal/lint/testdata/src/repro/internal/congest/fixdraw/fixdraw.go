@@ -1,0 +1,58 @@
+// Package fixdraw exercises the draworder analyzer: rng.RNG draws must
+// be unreachable from worker contexts — goroutines spawned in the
+// engine scope and functions rooted //draworder:worker — unless a
+// //draworder:coordinator cut sanctions the path. It lives under
+// internal/congest so its goroutines count as worker contexts.
+package fixdraw
+
+import "repro/internal/rng"
+
+// stream stands in for an engine-owned RNG stream that worker code must
+// not touch.
+var stream = rng.New(1)
+
+// BadGoroutine spawns a worker that draws from the shared stream. The
+// goroutine spawn itself is advisory-escaped (determinism is not the
+// analyzer under test here); the draw inside is the draworder finding.
+func BadGoroutine() {
+	done := make(chan struct{})
+	go func() { //lint:advisory fixture goroutine; draworder is the analyzer under test
+		defer close(done)
+		_ = stream.Uint64() // want "Uint64 draw reachable from worker context"
+	}()
+	<-done
+}
+
+// Sweep mimics a remote-driven worker entry point: no local `go`
+// statement spawns it, so the doc directive roots the traversal.
+//
+//draworder:worker
+func Sweep() {
+	helper()
+	coordinatorOnly()
+	pureUse()
+}
+
+// helper hides the draw one call below the root.
+func helper() {
+	deeper()
+}
+
+// deeper draws from the shared stream, two frames below the root.
+func deeper() {
+	_ = stream.Intn(7) // want "Intn draw reachable from worker context"
+}
+
+// coordinatorOnly asserts it only ever runs coordinator-side; the
+// analyzer holds it to nothing further.
+//
+//draworder:coordinator
+func coordinatorOnly() {
+	_ = stream.Uint64()
+}
+
+// pureUse touches only the sanctioned pure methods.
+func pureUse() {
+	child := stream.Split(3)
+	_ = child.Draws()
+}

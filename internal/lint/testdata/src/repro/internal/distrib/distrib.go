@@ -1,0 +1,108 @@
+// Package distrib is the fixture tree's stand-in for the multi-process
+// frame codec. The framecodec analyzer triggers on any package that
+// declares a frameKind type, so these skeleton declarations exercise
+// the closed-namespace, one-encoder-per-kind, and bit-bound contracts
+// without the real transport.
+package distrib
+
+import "repro/internal/congest"
+
+// frameKind tags a frame payload.
+type frameKind uint8
+
+// The tag namespace: fkZero, fkDup and fkOrphan are the deliberate
+// violations; fkTwice is encoded twice below.
+const (
+	fkConfig frameKind = 1
+	fkRound  frameKind = 2
+	fkOrphan frameKind = 3 // want "frame kind fkOrphan is never encoded"
+	fkTwice  frameKind = 4 // want "frame kind fkTwice is encoded by 2 reset calls"
+	fkZero   frameKind = 0 // want "frame kind fkZero has non-positive tag 0"
+	fkDup    frameKind = 2 // want "duplicate frame kind tag 2: fkDup collides with fkRound"
+)
+
+// encoder mirrors the real codec's frame builder.
+type encoder struct {
+	kind frameKind
+	buf  []byte
+}
+
+// reset starts a frame of the given kind.
+func (e *encoder) reset(k frameKind) {
+	e.kind = k
+	e.buf = e.buf[:0]
+}
+
+// encodeConfig builds a config frame.
+func encodeConfig(e *encoder) { e.reset(fkConfig) }
+
+// encodeRound builds a round frame.
+func encodeRound(e *encoder) { e.reset(fkRound) }
+
+// encodeTwiceA and encodeTwiceB both claim the same kind.
+func encodeTwiceA(e *encoder) { e.reset(fkTwice) }
+func encodeTwiceB(e *encoder) { e.reset(fkTwice) }
+
+// encodeComputed passes a computed kind the audit cannot track.
+func encodeComputed(e *encoder, k frameKind) {
+	e.reset(k + 1) // want "is not a declared frame kind constant"
+}
+
+// String names the kind; the switch is the canonical registry the
+// exhaustive marker holds to the full namespace.
+func (k frameKind) String() string {
+	//framecodec:exhaustive
+	switch k { // want "frame-kind switch marked //framecodec:exhaustive is missing fkOrphan"
+	case fkConfig:
+		return "config"
+	case fkRound:
+		return "round"
+	case fkTwice:
+		return "twice"
+	case 9: // want "frame-kind switch case 9 is not a declared frame kind constant"
+		return "mystery"
+	default:
+		return "?"
+	}
+}
+
+// decodeGood stores a bit size bounded by the engine's budget.
+func decodeGood(v uint64) congest.Wire {
+	var w congest.Wire
+	if v > congest.MaxWireBits {
+		return w
+	}
+	w.Bits = uint16(v)
+	return w
+}
+
+// decodeUnguarded stores an unchecked bit size.
+func decodeUnguarded(v uint64) congest.Wire {
+	var w congest.Wire
+	w.Bits = uint16(v) // want "without a preceding"
+	return w
+}
+
+// decodeLoose bounds against the wrong budget.
+func decodeLoose(v uint64) congest.Wire {
+	var w congest.Wire
+	if v > 65535 { // want "frame bit-size bound 65535 is looser than congest.MaxWireBits = 128"
+		return w
+	}
+	w.Bits = uint16(v)
+	return w
+}
+
+// decodeConst stores an over-budget constant.
+func decodeConst() congest.Wire {
+	var w congest.Wire
+	w.Bits = 4096 // want "Wire.Bits set to constant 4096, exceeding"
+	return w
+}
+
+// decodeOpaque stores an expression the analyzer cannot bound.
+func decodeOpaque(v uint64) congest.Wire {
+	var w congest.Wire
+	w.Bits = uint16(v + 1) // want "cannot bound"
+	return w
+}

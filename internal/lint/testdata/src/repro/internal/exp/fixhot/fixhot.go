@@ -70,3 +70,43 @@ func Cold(n int) []int {
 	out := make([]int, n)
 	return append(out, n)
 }
+
+// chainHelper has no annotation of its own; the v2 traversal from
+// HotChain reaches it and attributes the finding to the root.
+func chainHelper(n int) []int {
+	return make([]int, n) // want "make in a hot-path function allocates.*reached from //congest:hotpath HotChain"
+}
+
+// HotChain extends the contract through an unannotated helper.
+//
+//congest:hotpath
+func HotChain(n int) []int {
+	return chainHelper(n)
+}
+
+// coldEmit is a sanctioned cold callee: its doc-level coldpath directive
+// cuts the traversal, mirroring the engine's traced-only flow emitter.
+//
+//congest:coldpath
+func coldEmit(n int) []int {
+	return make([]int, n)
+}
+
+// HotWithColdCallee calls the cold emitter without findings.
+//
+//congest:hotpath
+func HotWithColdCallee(n int) []int {
+	return coldEmit(n)
+}
+
+// HotDeep starts a call chain that outruns the traversal bound: the
+// depth-exceeded call is itself the finding.
+//
+//congest:hotpath
+func HotDeep() { depth1() }
+
+func depth1() { depth2() }
+func depth2() { depth3() }
+func depth3() { depth4() }
+func depth4() { depth5() } // want "call to depth5 exceeds hotalloc's depth-4 traversal"
+func depth5() {}

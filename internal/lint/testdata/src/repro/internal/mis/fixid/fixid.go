@@ -1,0 +1,66 @@
+// Package fixid exercises the idspace analyzer: internal (permuted)
+// vertex IDs must not reach external surfaces — annotated fields, error
+// strings, annotated parameters — without the ext translation, and
+// external IDs must not index internal-order tables.
+package fixid
+
+import "fmt"
+
+// Event mirrors a trace record: vertex identities are external.
+type Event struct {
+	//idspace:external
+	V int32
+}
+
+// State mirrors the engine's layout tables.
+type State struct {
+	//idspace:index internal
+	//idspace:external
+	ext []int
+	//idspace:internal
+	order []int
+}
+
+// ExtID translates an internal ID to its external identity — the one
+// sanctioned crossing.
+//
+//idspace:internal v
+//idspace:returns external
+func (s *State) ExtID(v int) int {
+	if s.ext == nil {
+		return v //idspace:ok identity layout: internal and external IDs coincide
+	}
+	return s.ext[v]
+}
+
+// Consult mimics a fault-plan consult that takes external IDs.
+//
+//idspace:external v
+func Consult(v int) {}
+
+// Leak stores an internal ID everywhere it must not go.
+func Leak(s *State) (Event, error) {
+	v := s.order[0]
+	e := Event{V: int32(v)}                       // want "internal-space ID stored into field V"
+	Consult(v)                                    // want "internal-space ID passed to parameter declared //idspace:external of Consult"
+	err := fmt.Errorf("vertex %d misbehaved", v)  // want "internal .permuted. vertex ID reaches an error string"
+	return e, err
+}
+
+// Alias indexes the translation table with an external ID.
+func Alias(s *State, e Event) int {
+	return s.ext[int(e.V)] // want "external-space ID indexes ext, declared //idspace:index internal"
+}
+
+// Backwards returns the wrong space from a declared translator.
+//
+//idspace:internal v
+//idspace:returns external
+func Backwards(v int) int {
+	return v + 1 // want "returning an internal-space ID from Backwards"
+}
+
+// Sanctioned goes through the translator and draws no findings.
+func Sanctioned(s *State) Event {
+	return Event{V: int32(s.ExtID(s.order[0]))}
+}

@@ -1,0 +1,31 @@
+// Package rng is the fixture tree's stand-in for the real splittable
+// generator. The draworder analyzer matches the RNG type by its
+// package's "internal/rng" path suffix, so the fixtures can exercise
+// the draw-order contract without importing the real generator.
+package rng
+
+// RNG mirrors the real generator's method surface: Split and Draws are
+// pure, everything else is a draw.
+type RNG struct {
+	state uint64
+	n     uint64
+}
+
+// New derives a root stream from seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent child stream; pure, not a draw.
+func (r *RNG) Split(i uint64) *RNG { return &RNG{state: r.state ^ i} }
+
+// Draws reads the draw counter; pure, not a draw.
+func (r *RNG) Draws() uint64 { return r.n }
+
+// Uint64 draws 64 bits.
+func (r *RNG) Uint64() uint64 {
+	r.n++
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// Intn draws an integer in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Uint64() % uint64(n)) }

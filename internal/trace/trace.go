@@ -161,6 +161,11 @@ type Event struct {
 	// Round is the engine round the event belongs to (0 = Init).
 	Round int32
 	// V and W are the subject vertices or shards (see the Type constants).
+	// Vertex identities are always external (original graph) IDs, never
+	// the engine's relabeled internal order — misvet's idspace analyzer
+	// enforces the boundary.
+	//
+	//idspace:external
 	V, W int32
 	// X, Y and Z are type-specific values.
 	X, Y, Z int64
